@@ -1,0 +1,225 @@
+package cptraffic_test
+
+// One benchmark per table and figure of the paper's evaluation (see the
+// per-experiment index in DESIGN.md). Each bench regenerates the
+// corresponding artifact end to end on the world-simulator substrate at
+// the default laptop scale; the rendered output of the same code is
+// produced by `go run ./cmd/experiments` and recorded in EXPERIMENTS.md.
+//
+// The heavy fixtures (training world, four fitted models, validation
+// traces) are built once and shared across benches, so the reported
+// ns/op measure the experiment's analysis work, not refitting.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"cptraffic/internal/cluster"
+	"cptraffic/internal/core"
+	"cptraffic/internal/cp"
+	"cptraffic/internal/experiments"
+	"cptraffic/internal/mcn"
+	"cptraffic/internal/sm"
+	"cptraffic/internal/world"
+)
+
+var (
+	benchLabOnce sync.Once
+	benchLab     *experiments.Lab
+)
+
+func lab(b *testing.B) *experiments.Lab {
+	b.Helper()
+	benchLabOnce.Do(func() {
+		benchLab = experiments.NewLab(experiments.DefaultConfig())
+	})
+	return benchLab
+}
+
+// prepare forces the shared fixtures outside the timed region.
+func prepare(b *testing.B, l *experiments.Lab) {
+	b.Helper()
+	if _, err := l.Models(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+}
+
+func runExp(b *testing.B, fn func(*experiments.Lab, io.Writer) error) {
+	l := lab(b)
+	prepare(b, l)
+	for i := 0; i < b.N; i++ {
+		if err := fn(l, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_EventBreakdown(b *testing.B) {
+	runExp(b, experiments.Table1)
+}
+
+func BenchmarkFigure2_DiurnalBoxes(b *testing.B) {
+	runExp(b, experiments.Figure2)
+}
+
+func BenchmarkTable8_FitNoClustering(b *testing.B) {
+	runExp(b, experiments.Table8)
+}
+
+func BenchmarkTable9_FitWithClustering(b *testing.B) {
+	runExp(b, experiments.Table9)
+}
+
+func BenchmarkTable10_SubstateFits(b *testing.B) {
+	runExp(b, experiments.Table10)
+}
+
+func BenchmarkFigure3_VarianceTime(b *testing.B) {
+	runExp(b, experiments.Figure3)
+}
+
+func BenchmarkFigure4_CDFvsPoisson(b *testing.B) {
+	runExp(b, experiments.Figure4)
+}
+
+func BenchmarkClusterCounts(b *testing.B) {
+	runExp(b, experiments.Clusters)
+}
+
+func BenchmarkTable11_BreakdownScenario1(b *testing.B) {
+	runExp(b, func(l *experiments.Lab, w io.Writer) error {
+		return experiments.BreakdownTable(l, w, 1)
+	})
+}
+
+func BenchmarkTable4_BreakdownScenario2(b *testing.B) {
+	runExp(b, func(l *experiments.Lab, w io.Writer) error {
+		return experiments.BreakdownTable(l, w, 2)
+	})
+}
+
+func BenchmarkTable5_MaxYDistance(b *testing.B) {
+	runExp(b, experiments.Table5)
+}
+
+func BenchmarkTable6_ActivitySplit(b *testing.B) {
+	runExp(b, experiments.Table6)
+}
+
+func BenchmarkFigure7_PerUECDFs(b *testing.B) {
+	runExp(b, experiments.Figure7)
+}
+
+func BenchmarkTable7_FiveGProjection(b *testing.B) {
+	runExp(b, experiments.Table7)
+}
+
+func BenchmarkAblationClusterThresholds(b *testing.B) {
+	runExp(b, experiments.AblationClusterThresholds)
+}
+
+func BenchmarkAblationECDFResolution(b *testing.B) {
+	runExp(b, experiments.AblationTableResolution)
+}
+
+func BenchmarkAblationTwoLevelVsFlat(b *testing.B) {
+	runExp(b, experiments.AblationTwoLevelVsFlat)
+}
+
+// BenchmarkGrowthProjection runs the §3.1 growth/dimensioning use case.
+func BenchmarkGrowthProjection(b *testing.B) {
+	runExp(b, experiments.GrowthProjection)
+}
+
+// BenchmarkDiurnalFidelity validates 24-hour hour-chained generation.
+func BenchmarkDiurnalFidelity(b *testing.B) {
+	runExp(b, experiments.DiurnalFidelity)
+}
+
+// BenchmarkImprovementFactors reproduces the introduction's headline
+// max-y-distance reduction ratios.
+func BenchmarkImprovementFactors(b *testing.B) {
+	runExp(b, experiments.ImprovementTable)
+}
+
+// BenchmarkGeneratorPerUEHour measures the per-UE traffic generator's
+// synthesis throughput — the paper reports 1.46/0.68/0.55 seconds per
+// UE-hour for phones/cars/tablets on their 12-CPU testbed (§8.1).
+func BenchmarkGeneratorPerUEHour(b *testing.B) {
+	l := lab(b)
+	models, err := l.Models()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms := models["ours"]
+	for _, d := range cp.DeviceTypes {
+		mix := make([]float64, cp.NumDeviceTypes)
+		mix[d] = 1
+		b.Run(d.String(), func(b *testing.B) {
+			b.ResetTimer()
+			total := 0
+			for i := 0; i < b.N; i++ {
+				tr, err := core.Generate(ms, core.GenOptions{
+					NumUEs:    100,
+					StartHour: 18,
+					Duration:  cp.Hour,
+					Seed:      uint64(i + 1),
+					DeviceMix: mix,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += tr.Len()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*100)/1e9, "s/UE-hour")
+		})
+	}
+}
+
+// BenchmarkWorldSimulator measures the ground-truth simulator's event
+// throughput.
+func BenchmarkWorldSimulator(b *testing.B) {
+	b.ReportAllocs()
+	events := 0
+	for i := 0; i < b.N; i++ {
+		tr, err := world.Generate(world.Options{NumUEs: 500, Duration: cp.Hour * 6, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += tr.Len()
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// BenchmarkModelFit measures the fitting pipeline itself.
+func BenchmarkModelFit(b *testing.B) {
+	tr, err := world.Generate(world.Options{NumUEs: 400, Duration: cp.Day, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Fit(tr, core.FitOptions{Cluster: cluster.Options{ThetaN: 40}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMMEThroughput measures how fast the simulated core consumes
+// control events.
+func BenchmarkMMEThroughput(b *testing.B) {
+	tr, err := world.Generate(world.Options{NumUEs: 500, Duration: cp.Hour * 6, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := mcn.New(sm.LTE2Level())
+		if _, err := m.ProcessTrace(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()), "events/op")
+}

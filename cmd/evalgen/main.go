@@ -1,0 +1,100 @@
+// Command evalgen compares a synthesized trace against a real one: the
+// macroscopic breakdown differences (Tables 4/11) and the microscopic
+// per-UE CDF distances (Tables 5/6).
+//
+// Usage:
+//
+//	evalgen -real real.trace -syn syn.trace
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"cptraffic/internal/cp"
+	"cptraffic/internal/eval"
+	"cptraffic/internal/report"
+	"cptraffic/internal/trace"
+)
+
+func readTrace(path string) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadAuto(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tr
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("evalgen: ")
+	var (
+		realPath = flag.String("real", "", "reference (real) trace")
+		synPath  = flag.String("syn", "", "synthesized trace")
+	)
+	flag.Parse()
+	if *realPath == "" || *synPath == "" {
+		log.Fatal("-real and -syn are required")
+	}
+	realTr := readTrace(*realPath)
+	synTr := readTrace(*synPath)
+
+	macro := report.Table{
+		Title:  "Macroscopic — breakdown shares and differences (syn - real)",
+		Header: []string{"Device", "Row", "Real", "Syn", "Diff"},
+	}
+	for _, d := range cp.DeviceTypes {
+		r := eval.ComputeBreakdown(realTr, d)
+		s := eval.ComputeBreakdown(synTr, d)
+		if r.Total == 0 && s.Total == 0 {
+			continue
+		}
+		diff := eval.BreakdownDiff(r, s)
+		for _, k := range eval.BreakdownKeys {
+			macro.AddRow(d.String(), k, report.Pct(r.Share[k]), report.Pct(s.Share[k]),
+				report.SignedPct(diff[k]))
+		}
+	}
+	if err := macro.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	micro := report.Table{
+		Title:  "Microscopic — max y-distance between CDFs (real vs syn)",
+		Header: []string{"Device", "SRV_REQ/UE", "S1_CONN_REL/UE", "CONNECTED", "IDLE"},
+	}
+	for _, d := range cp.DeviceTypes {
+		if len(realTr.UEsOfType(d)) == 0 {
+			continue
+		}
+		m := eval.ComputeMicroDistances(realTr, synTr, d)
+		micro.AddRow(d.String(), report.Pct(m.SrvReqPerUE), report.Pct(m.S1RelPerUE),
+			report.Pct(m.Connected), report.Pct(m.Idle))
+	}
+	if err := micro.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	split := report.Table{
+		Title:  "Activity split — inactive (<=2 events) vs active UEs, per-UE count distance",
+		Header: []string{"Device", "Event", "Inactive", "Active"},
+	}
+	for _, d := range cp.DeviceTypes {
+		if len(realTr.UEsOfType(d)) == 0 {
+			continue
+		}
+		for _, e := range []cp.EventType{cp.ServiceRequest, cp.S1ConnRelease} {
+			in, act := eval.ActivitySplit(realTr, synTr, d, e)
+			split.AddRow(d.String(), e.String(), report.Pct(in), report.Pct(act))
+		}
+	}
+	if err := split.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

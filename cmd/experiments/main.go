@@ -1,0 +1,101 @@
+// Command experiments regenerates the paper's evaluation artifacts end to
+// end: it simulates a training world, fits all four modeling methods,
+// synthesizes validation traces, and prints every table and figure series
+// (see the per-experiment index in DESIGN.md).
+//
+// Usage:
+//
+//	experiments                       # run everything at the default scale
+//	experiments -exp table4          # one experiment
+//	experiments -scale 4             # 4x the default populations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"cptraffic/internal/experiments"
+)
+
+var registry = map[string]func(*experiments.Lab, io.Writer) error{
+	"table1":    experiments.Table1,
+	"fig2":      experiments.Figure2,
+	"table8":    experiments.Table8,
+	"table9":    experiments.Table9,
+	"table10":   experiments.Table10,
+	"fig3":      experiments.Figure3,
+	"fig4":      experiments.Figure4,
+	"clusters":  experiments.Clusters,
+	"table4":    func(l *experiments.Lab, w io.Writer) error { return experiments.BreakdownTable(l, w, 2) },
+	"table11":   func(l *experiments.Lab, w io.Writer) error { return experiments.BreakdownTable(l, w, 1) },
+	"table5":    experiments.Table5,
+	"improve":   experiments.ImprovementTable,
+	"table6":    experiments.Table6,
+	"fig7":      experiments.Figure7,
+	"table7":    experiments.Table7,
+	"abl-theta": experiments.AblationClusterThresholds,
+	"abl-res":   experiments.AblationTableResolution,
+	"abl-flat":  experiments.AblationTwoLevelVsFlat,
+	"growth":    experiments.GrowthProjection,
+	"diurnal":   experiments.DiurnalFidelity,
+}
+
+// order fixes the presentation sequence for -exp all.
+var order = []string{
+	"table1", "fig2", "table8", "table9", "table10", "fig3", "fig4",
+	"clusters", "table11", "table4", "table5", "improve", "table6", "fig7", "table7",
+	"abl-theta", "abl-res", "abl-flat", "growth", "diurnal",
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		exp   = flag.String("exp", "all", "experiment id or 'all' (see DESIGN.md index)")
+		scale = flag.Float64("scale", 1, "population scale factor over the default config")
+		seed  = flag.Uint64("seed", 2023, "random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.TrainUEs = int(float64(cfg.TrainUEs) * *scale)
+	cfg.Scenario1UEs = int(float64(cfg.Scenario1UEs) * *scale)
+	cfg.Scenario2UEs = int(float64(cfg.Scenario2UEs) * *scale)
+	cfg.ThetaN = int(float64(cfg.ThetaN) * *scale)
+	lab := experiments.NewLab(cfg)
+
+	fmt.Printf("# cptraffic experiments — train %d UEs x %d days, scenarios %d / %d UEs, busy hour %d, θn %d\n\n",
+		cfg.TrainUEs, cfg.Days, cfg.Scenario1UEs, cfg.Scenario2UEs, cfg.BusyHour, cfg.ThetaN)
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = order
+	}
+	sort.SliceStable(names, func(i, j int) bool { return indexOf(names[i]) < indexOf(names[j]) })
+	for _, name := range names {
+		fn, ok := registry[name]
+		if !ok {
+			log.Fatalf("unknown experiment %q (known: %v)", name, order)
+		}
+		start := time.Now()
+		if err := fn(lab, os.Stdout); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %s done in %v\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func indexOf(name string) int {
+	for i, n := range order {
+		if n == name {
+			return i
+		}
+	}
+	return len(order)
+}

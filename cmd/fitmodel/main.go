@@ -1,0 +1,79 @@
+// Command fitmodel estimates a control-plane traffic model from a trace:
+// the paper's two-level semi-Markov method ("ours") or any of the
+// comparison methods of Table 3 ("base", "v1", "v2").
+//
+// Usage:
+//
+//	fitmodel -method ours -thetan 100 -i world.trace -o model.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cptraffic/internal/baseline"
+	"cptraffic/internal/cluster"
+	"cptraffic/internal/core"
+	"cptraffic/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fitmodel: ")
+	var (
+		in     = flag.String("i", "-", "input trace ('-' for stdin)")
+		out    = flag.String("o", "-", "output model JSON ('-' for stdout)")
+		method = flag.String("method", "ours", "modeling method: base | v1 | v2 | ours")
+		thetaN = flag.Int("thetan", 100, "adaptive clustering θn (min cluster size)")
+		thetaF = flag.Float64("thetaf", 5, "adaptive clustering θf (feature similarity)")
+	)
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	tr, err := trace.ReadAuto(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	co := cluster.Options{
+		ThetaF: cluster.Features{*thetaF, *thetaF, *thetaF, *thetaF},
+		ThetaN: *thetaN,
+	}
+	opt, err := baseline.Options(*method, co)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, err := core.Fit(tr, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := ms.Save(w); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "fitmodel: method=%s machine=%s models=%d (from %d UEs, %d events)\n",
+		ms.Method, ms.MachineName, ms.NumModels(), tr.NumUEs(), tr.Len())
+}

@@ -1,0 +1,38 @@
+// Command modelinfo summarizes a fitted model JSON: method, machine,
+// per-device cluster statistics, and the global transition tables with
+// sojourn means.
+//
+// Usage:
+//
+//	modelinfo -model model.json
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"cptraffic/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("modelinfo: ")
+	modelPath := flag.String("model", "", "fitted model JSON (required)")
+	flag.Parse()
+	if *modelPath == "" {
+		log.Fatal("-model is required")
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	ms, err := core.Load(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ms.Describe(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+// Command tracestat summarizes a control-plane trace: population and
+// event totals, per-device breakdowns with the HO/TAU macro-state split,
+// the diurnal load profile, per-network-function transaction load, and a
+// protocol-conformance check against the two-level machine.
+//
+// Usage:
+//
+//	tracestat -i world.trace
+//	tracestat -i syn.trace -machine 5g-sa
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"cptraffic/internal/cp"
+	"cptraffic/internal/eval"
+	"cptraffic/internal/mcn"
+	"cptraffic/internal/report"
+	"cptraffic/internal/sm"
+	"cptraffic/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracestat: ")
+	var (
+		in      = flag.String("i", "-", "input trace ('-' for stdin)")
+		machine = flag.String("machine", "lte", "conformance machine: lte | emm-ecm | 5g-sa")
+	)
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	tr, err := trace.ReadAuto(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var m *sm.Machine
+	switch strings.ToLower(*machine) {
+	case "lte":
+		m = sm.LTE2Level()
+	case "emm-ecm":
+		m = sm.EMMECM()
+	case "5g-sa":
+		m = sm.FiveGSA()
+	default:
+		log.Fatalf("unknown machine %q", *machine)
+	}
+
+	lo, hi := tr.Span()
+	fmt.Printf("UEs: %d   events: %d   span: [%.1f h, %.1f h)\n\n",
+		tr.NumUEs(), tr.Len(), lo.Seconds()/3600, hi.Seconds()/3600)
+
+	devTbl := report.Table{
+		Title:  "Per-device breakdown (HO/TAU split by macro state)",
+		Header: append([]string{"Device", "UEs", "Events"}, eval.BreakdownKeys...),
+	}
+	for _, d := range cp.DeviceTypes {
+		ues := tr.UEsOfType(d)
+		if len(ues) == 0 {
+			continue
+		}
+		b := eval.ComputeBreakdown(tr, d)
+		row := []string{d.String(), fmt.Sprintf("%d", len(ues)), fmt.Sprintf("%d", b.Total)}
+		for _, k := range eval.BreakdownKeys {
+			row = append(row, report.Pct(b.Share[k]))
+		}
+		devTbl.AddRow(row...)
+	}
+	if err := devTbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Diurnal profile.
+	var perHour [24]int
+	for _, e := range tr.Events {
+		perHour[e.T.HourOfDay()]++
+	}
+	diurnal := report.Table{Title: "Diurnal profile", Header: []string{"Hour", "Events", "Share"}}
+	for h, c := range perHour {
+		if c == 0 {
+			continue
+		}
+		diurnal.AddRow(fmt.Sprintf("%02d", h), fmt.Sprintf("%d", c),
+			report.Pct(float64(c)/float64(tr.Len())))
+	}
+	if err := diurnal.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Per-NF transaction load.
+	load := mcn.NFLoad(tr)
+	nfTbl := report.Table{Title: "Per-network-function transactions", Header: []string{"NF", "Transactions"}}
+	for n := 0; n < mcn.NumNFs; n++ {
+		nfTbl.AddRow(mcn.NF(n).String(), fmt.Sprintf("%d", load[n]))
+	}
+	if err := nfTbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Conformance.
+	violations, checked := 0, 0
+	for _, evs := range tr.PerUE() {
+		if len(evs) == 0 {
+			continue
+		}
+		res := sm.Replay(m, sm.InferInitial(m, evs), evs)
+		violations += res.Violations
+		checked += len(evs)
+	}
+	fmt.Printf("Conformance vs %s: %d violations across %d events\n",
+		m.Name, violations, checked)
+}

@@ -1,0 +1,108 @@
+// Command traffgen synthesizes a control-plane trace from a fitted model
+// for any UE population size, optionally after adapting the model to 5G
+// NSA or SA (paper §6-7).
+//
+// Usage:
+//
+//	traffgen -model model.json -ues 380000 -start 18 -hours 1 -o syn.trace
+//	traffgen -model model.json -nextg sa -ues 10000 -hours 24 -o sa.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cptraffic/internal/core"
+	"cptraffic/internal/cp"
+	"cptraffic/internal/fiveg"
+	"cptraffic/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traffgen: ")
+	var (
+		modelPath = flag.String("model", "", "fitted model JSON (required)")
+		ues       = flag.Int("ues", 10000, "synthetic population size")
+		start     = flag.Int("start", 0, "starting hour-of-day H")
+		hours     = flag.Int("hours", 1, "trace duration in hours")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "concurrent per-UE generators (0 = GOMAXPROCS)")
+		nextg     = flag.String("nextg", "", "adapt to NextG first: '', 'nsa' or 'sa'")
+		hoFactor  = flag.Float64("hofactor", 0, "handover scaling override (0 = paper default)")
+		out       = flag.String("o", "-", "output trace ('-' for stdout)")
+		binOut    = flag.Bool("binary", false, "write the compact binary trace format")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		log.Fatal("-model is required")
+	}
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, err := core.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch *nextg {
+	case "":
+	case "nsa":
+		factor := *hoFactor
+		if factor <= 0 {
+			factor = fiveg.NSAHandoverFactor
+		}
+		if ms, err = fiveg.ToNSA(ms, factor); err != nil {
+			log.Fatal(err)
+		}
+	case "sa":
+		factor := *hoFactor
+		if factor <= 0 {
+			factor = fiveg.SAHandoverFactor
+		}
+		if ms, err = fiveg.ToSA(ms, factor); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown -nextg %q (want nsa or sa)", *nextg)
+	}
+
+	tr, err := core.Generate(ms, core.GenOptions{
+		NumUEs:    *ues,
+		StartHour: *start,
+		Duration:  cp.Millis(*hours) * cp.Hour,
+		Seed:      *seed,
+		Workers:   *workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		file, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := file.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = file
+	}
+	writeFn := trace.WriteTrace
+	if *binOut {
+		writeFn = trace.WriteBinaryTrace
+	}
+	if err := writeFn(w, tr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "traffgen: method=%s machine=%s -> %d UEs, %d events\n",
+		ms.Method, ms.MachineName, tr.NumUEs(), tr.Len())
+}

@@ -1,0 +1,73 @@
+// Command worldgen synthesizes a ground-truth control-plane trace from
+// the behavioral world simulator — the stand-in for a carrier trace
+// collection (see DESIGN.md). The output feeds cmd/fitmodel.
+//
+// Usage:
+//
+//	worldgen -ues 2000 -hours 48 -seed 1 -o world.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cptraffic/internal/cp"
+	"cptraffic/internal/trace"
+	"cptraffic/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("worldgen: ")
+	var (
+		ues    = flag.Int("ues", 2000, "population size")
+		hours  = flag.Int("hours", 48, "trace duration in hours (epoch is midnight)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		out    = flag.String("o", "-", "output file ('-' for stdout)")
+		binOut = flag.Bool("binary", false, "write the compact binary trace format")
+		phones = flag.Float64("phones", -1, "phone share override (with -cars, -tablets)")
+		cars   = flag.Float64("cars", -1, "connected-car share override")
+		tabs   = flag.Float64("tablets", -1, "tablet share override")
+	)
+	flag.Parse()
+
+	opt := world.Options{
+		NumUEs:   *ues,
+		Duration: cp.Millis(*hours) * cp.Hour,
+		Seed:     *seed,
+	}
+	if *phones >= 0 || *cars >= 0 || *tabs >= 0 {
+		if *phones < 0 || *cars < 0 || *tabs < 0 {
+			log.Fatal("set all of -phones, -cars, -tablets or none")
+		}
+		opt.Mix = []float64{*phones, *cars, *tabs}
+	}
+	tr, err := world.Generate(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	writeFn := trace.WriteTrace
+	if *binOut {
+		writeFn = trace.WriteBinaryTrace
+	}
+	if err := writeFn(w, tr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "worldgen: %d UEs, %d events over %d h\n", tr.NumUEs(), tr.Len(), *hours)
+}

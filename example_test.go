@@ -1,0 +1,76 @@
+package cptraffic_test
+
+import (
+	"fmt"
+	"log"
+
+	cptraffic "cptraffic"
+)
+
+// Example demonstrates the three-step pipeline: simulate a ground truth,
+// fit the paper's model, synthesize a larger population. Everything is
+// seeded, so the structural outputs below are stable.
+func Example() {
+	world, err := cptraffic.SimulateWorld(cptraffic.WorldOptions{
+		NumUEs: 200, Duration: 2 * cptraffic.Hour, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := cptraffic.FitModel(world, "ours", cptraffic.ClusterOptions{ThetaN: 25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	syn, err := cptraffic.GenerateTraffic(model, cptraffic.GenOptions{
+		NumUEs: 1000, StartHour: 1, Duration: cptraffic.Hour, Seed: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("trained UEs:", world.NumUEs())
+	fmt.Println("synthesized UEs:", syn.NumUEs())
+	fmt.Println("synthesized sorted:", syn.Sorted())
+	fmt.Println("machine:", model.MachineName)
+	// Output:
+	// trained UEs: 200
+	// synthesized UEs: 1000
+	// synthesized sorted: true
+	// machine: LTE-2LEVEL
+}
+
+// ExampleAdaptToSA shows the 5G standalone adaptation: the TAU event
+// type disappears from the generated vocabulary (Table 2's mapping).
+func ExampleAdaptToSA() {
+	world, err := cptraffic.SimulateWorld(cptraffic.WorldOptions{
+		NumUEs: 150, Duration: 2 * cptraffic.Hour, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lte, err := cptraffic.FitModel(world, "ours", cptraffic.ClusterOptions{ThetaN: 25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sa, err := cptraffic.AdaptToSA(lte, cptraffic.SAHandoverFactor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := cptraffic.GenerateTraffic(sa, cptraffic.GenOptions{
+		NumUEs: 300, StartHour: 1, Duration: cptraffic.Hour, Seed: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("machine:", sa.MachineName)
+	fmt.Println("TAU events:", tr.CountByType()[cptraffic.TrackingAreaUpdate])
+	// Output:
+	// machine: 5G-SA
+	// TAU events: 0
+}
+
+// ExampleMethods lists the Table 3 modeling methods.
+func ExampleMethods() {
+	fmt.Println(cptraffic.Methods())
+	// Output:
+	// [base v1 v2 ours]
+}

@@ -1,0 +1,3 @@
+module cptraffic
+
+go 1.22

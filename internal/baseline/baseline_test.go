@@ -1,0 +1,91 @@
+package baseline
+
+import (
+	"testing"
+
+	"cptraffic/internal/cluster"
+	"cptraffic/internal/core"
+	"cptraffic/internal/cp"
+	"cptraffic/internal/world"
+)
+
+func TestOptionsMatchTable3(t *testing.T) {
+	co := cluster.Options{ThetaN: 10}
+	cases := []struct {
+		method       string
+		machine      string
+		kind         string
+		free         int
+		noClustering bool
+	}{
+		{"base", "EMM-ECM", core.SojournExp, 2, true},
+		{"v1", "EMM-ECM", core.SojournExp, 2, false},
+		{"v2", "LTE-2LEVEL", core.SojournExp, 0, false},
+		{"ours", "LTE-2LEVEL", core.SojournTable, 0, false},
+	}
+	for _, c := range cases {
+		opt, err := Options(c.method, co)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.Machine.Name != c.machine {
+			t.Errorf("%s: machine %s, want %s", c.method, opt.Machine.Name, c.machine)
+		}
+		if opt.SojournKind != c.kind {
+			t.Errorf("%s: kind %s, want %s", c.method, opt.SojournKind, c.kind)
+		}
+		if len(opt.FreeEvents) != c.free {
+			t.Errorf("%s: %d free events, want %d", c.method, len(opt.FreeEvents), c.free)
+		}
+		if opt.NoClustering != c.noClustering {
+			t.Errorf("%s: NoClustering = %v", c.method, opt.NoClustering)
+		}
+		if opt.Method != c.method {
+			t.Errorf("%s: label %q", c.method, opt.Method)
+		}
+	}
+	if _, err := Options("nope", co); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestFitAll(t *testing.T) {
+	tr, err := world.Generate(world.Options{NumUEs: 150, Duration: 3 * cp.Hour, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := FitAll(tr, cluster.Options{ThetaN: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 4 {
+		t.Fatalf("got %d models", len(models))
+	}
+	for _, m := range Methods {
+		ms := models[m]
+		if ms == nil {
+			t.Fatalf("method %s missing", m)
+		}
+		if err := ms.Validate(); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if ms.Method != m {
+			t.Fatalf("%s: labeled %q", m, ms.Method)
+		}
+		// Every method must be able to generate.
+		gen, err := core.Generate(ms, core.GenOptions{NumUEs: 50, Duration: cp.Hour, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if gen.Len() == 0 {
+			t.Fatalf("%s generated nothing", m)
+		}
+	}
+	// Base has exactly one cluster per hour; ours has at least one.
+	base := models["base"].Device(cp.Phone)
+	for h := range base.Hours {
+		if len(base.Hours[h].Clusters) != 1 {
+			t.Fatalf("base hour %d has %d clusters", h, len(base.Hours[h].Clusters))
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cptraffic/internal/cp"
+	"cptraffic/internal/sm"
+)
+
+func TestDescribeRendersAllSections(t *testing.T) {
+	ms := fitToy(t, 45, 2*cp.Hour, 95, FitOptions{})
+	var sb strings.Builder
+	if err := ms.Describe(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"method=ours", "machine=LTE-2LEVEL",
+		"phone:", "car:", "tablet:",
+		"global top level", "global bottom level",
+		"--SRV_REQ-->", "first event",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDescribeBaseShowsFreeProcesses(t *testing.T) {
+	tr := toyTrace(t, 45, 2*cp.Hour, 96)
+	ms, err := Fit(tr, FitOptions{
+		Machine:      sm.EMMECM(),
+		SojournKind:  SojournExp,
+		FreeEvents:   []cp.EventType{cp.Handover, cp.TrackingAreaUpdate},
+		NoClustering: true,
+		Method:       "base",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := ms.Describe(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "free process") {
+		t.Fatal("base description lacks free processes")
+	}
+	if strings.Contains(sb.String(), "bottom level") {
+		t.Fatal("EMM-ECM description should have no bottom level")
+	}
+}
+
+func TestModelStats(t *testing.T) {
+	ms := fitToy(t, 45, 2*cp.Hour, 97, FitOptions{})
+	st := ms.Stats()
+	if st.Method != "ours" || st.Models != ms.NumModels() {
+		t.Fatalf("stats = %+v", st)
+	}
+	for _, d := range cp.DeviceTypes {
+		ds := st.PerDevice[d]
+		if ds.TrainUEs != 15 {
+			t.Fatalf("%v TrainUEs = %d", d, ds.TrainUEs)
+		}
+		if ds.Personas == 0 || ds.ClustersPerHour <= 0 || ds.Transitions == 0 {
+			t.Fatalf("%v stats empty: %+v", d, ds)
+		}
+	}
+}
+
+func TestDescribeRejectsBadMachine(t *testing.T) {
+	bad := &ModelSet{MachineName: "NOPE"}
+	if err := bad.Describe(&strings.Builder{}); err == nil {
+		t.Fatal("bad machine accepted")
+	}
+}

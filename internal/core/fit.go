@@ -1,0 +1,639 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cptraffic/internal/cluster"
+	"cptraffic/internal/cp"
+	"cptraffic/internal/sm"
+	"cptraffic/internal/stats"
+	"cptraffic/internal/trace"
+)
+
+// FitOptions configures the model-fitting pipeline.
+type FitOptions struct {
+	// Machine is the protocol state machine to fit against; nil means
+	// the LTE two-level machine.
+	Machine *sm.Machine
+	// SojournKind selects the sojourn distribution family: SojournTable
+	// (the paper's method, default) or SojournExp (the V2 ablation and
+	// the Poisson baselines).
+	SojournKind string
+	// FreeEvents lists event types modeled as free-running processes
+	// instead of sub-machine transitions; the Base and V1 methods use
+	// {HO, TAU} with the flat EMM-ECM machine.
+	FreeEvents []cp.EventType
+	// NoClustering disables adaptive clustering (the Base method): all
+	// UEs of a device type form a single cluster.
+	NoClustering bool
+	// Cluster configures the adaptive clustering scheme (§5.3).
+	Cluster cluster.Options
+	// Method is a label stored in the model ("ours", "base", "v1", "v2").
+	Method string
+}
+
+func (o FitOptions) withDefaults() FitOptions {
+	if o.Machine == nil {
+		o.Machine = sm.LTE2Level()
+	}
+	if o.SojournKind == "" {
+		o.SojournKind = SojournTable
+	}
+	if o.Method == "" {
+		o.Method = "ours"
+	}
+	return o
+}
+
+// HoursPerDay is the number of hour-of-day buckets models are fitted for.
+const HoursPerDay = 24
+
+// Fit estimates a complete ModelSet from a control-plane trace: it
+// replays every UE through the machine's hierarchy, clusters UEs per
+// (hour-of-day, device type), and fits transition probabilities, sojourn
+// distributions, free processes, and first-event models for every
+// (cluster, hour, device type) combination.
+func Fit(tr *trace.Trace, opt FitOptions) (*ModelSet, error) {
+	opt = opt.withDefaults()
+	if tr.NumUEs() == 0 {
+		return nil, fmt.Errorf("core: cannot fit an empty trace")
+	}
+	_, hi := tr.Span()
+	days := int((hi + cp.Day - 1) / cp.Day)
+	if days < 1 {
+		days = 1
+	}
+	ms := &ModelSet{
+		MachineName: opt.Machine.Name,
+		Method:      opt.Method,
+		Devices:     make([]*DeviceModel, cp.NumDeviceTypes),
+	}
+	total := tr.NumUEs()
+	for _, d := range cp.DeviceTypes {
+		dm, n, err := fitDevice(tr, d, days, opt)
+		if err != nil {
+			return nil, err
+		}
+		if dm != nil {
+			dm.Share = float64(n) / float64(total)
+			dm.TrainUEs = n
+			ms.Devices[d] = dm
+		}
+	}
+	return ms, nil
+}
+
+// --- per-UE extraction ---
+
+type topKey struct {
+	S cp.UEState
+	E cp.EventType
+}
+
+type botKey struct {
+	S sm.State
+	E cp.EventType
+}
+
+type topSample struct {
+	Hour uint8
+	Key  topKey
+	Soj  float64
+	Has  bool
+}
+
+type botSample struct {
+	Hour uint8
+	Key  botKey
+	Soj  float64
+	Has  bool
+}
+
+type iaSample struct {
+	Hour uint8
+	E    cp.EventType
+	IA   float64
+}
+
+type firstSample struct {
+	Hour  uint8
+	E     cp.EventType
+	State sm.State // machine state right after the event
+	Off   float64  // seconds within the hour
+}
+
+// firstCatKey keys first-event categories by (event, post-state).
+type firstCatKey struct {
+	E cp.EventType
+	S sm.State
+}
+
+// censorSample records that a visit to a top-level state ended while the
+// bottom level sat in state S with no sub-machine event having fired for
+// Dur seconds — a right-censored bottom sojourn (competing risks).
+type censorSample struct {
+	Hour uint8
+	S    sm.State
+	Dur  float64
+}
+
+type ueData struct {
+	UE         cp.UEID
+	Counts     [HoursPerDay][cp.NumEventTypes]int
+	Top        []topSample
+	Bot        []botSample
+	BotCensor  []censorSample
+	Free       []iaSample
+	First      []firstSample
+	Violations int
+}
+
+// extractUE walks one UE's time-ordered events, tracking the two levels
+// of the machine concurrently, and collects every sample the fitting
+// stage needs.
+func extractUE(m *sm.Machine, ue cp.UEID, evs []trace.Event) *ueData {
+	d := &ueData{UE: ue}
+	macro := sm.InferMacroInitial(evs)
+	bottom := m.SubEntry(macro)
+	var macroAt, botAt cp.Millis
+	macroHas, botHas := false, false
+
+	var lastOfType [cp.NumEventTypes]cp.Millis
+	var lastCellOfType [cp.NumEventTypes]int
+	var seenType [cp.NumEventTypes]bool
+	lastCell := -1
+
+	for _, ev := range evs {
+		t := ev.T
+		h := t.HourOfDay()
+		if h >= 0 && h < HoursPerDay && ev.Type.Valid() {
+			d.Counts[h][ev.Type]++
+		}
+		// First event per (day, hour) cell; the post-event machine
+		// state is filled in after the classification below.
+		cell := t.HourIndex()
+		isFirstOfCell := cell != lastCell
+		lastCell = cell
+		// Inter-arrival per event type (for free-process fitting). The
+		// paper preprocesses the trace into non-overlapping 1-hour
+		// intervals, so gaps never span interval boundaries — which is
+		// precisely what makes the Base method's fitted HO/TAU rates
+		// reflect only busy movers and explode at generation time.
+		if seenType[ev.Type] && lastCellOfType[ev.Type] == cell {
+			d.Free = append(d.Free, iaSample{Hour: uint8(h), E: ev.Type, IA: (t - lastOfType[ev.Type]).Seconds()})
+		}
+		lastOfType[ev.Type] = t
+		lastCellOfType[ev.Type] = cell
+		seenType[ev.Type] = true
+
+		if sm.Category1(ev.Type) {
+			next := macroNext(ev.Type)
+			if next != macro {
+				// Top-level transition. Sojourn samples are attributed
+				// to the hour the state was entered (the generator draws
+				// the sojourn at entry time), falling back to the event
+				// hour when the entry is unknown.
+				sampleHour := uint8(h)
+				if macroHas {
+					sampleHour = uint8(macroAt.HourOfDay())
+				}
+				d.Top = append(d.Top, topSample{
+					Hour: sampleHour,
+					Key:  topKey{S: macro, E: ev.Type},
+					Soj:  (t - macroAt).Seconds(),
+					Has:  macroHas,
+				})
+				// The bottom level's sojourn-in-progress is right-
+				// censored by the top-level exit.
+				if botHas {
+					d.BotCensor = append(d.BotCensor, censorSample{
+						Hour: uint8(botAt.HourOfDay()),
+						S:    bottom,
+						Dur:  (t - botAt).Seconds(),
+					})
+				}
+				macro = next
+				macroAt, macroHas = t, true
+				bottom = m.SubEntry(macro)
+				botAt, botHas = t, true
+				d.recordFirst(isFirstOfCell, h, cell, t, ev.Type, bottom)
+				continue
+			}
+			// Category-1 event without a macro change: only legal as a
+			// bottom transition (the TAU-releasing S1_CONN_REL in IDLE).
+		}
+		if to, ok := m.Next(bottom, ev.Type); ok && m.Top(to) == macro {
+			sampleHour := uint8(h)
+			if botHas {
+				sampleHour = uint8(botAt.HourOfDay())
+			}
+			d.Bot = append(d.Bot, botSample{
+				Hour: sampleHour,
+				Key:  botKey{S: bottom, E: ev.Type},
+				Soj:  (t - botAt).Seconds(),
+				Has:  botHas,
+			})
+			bottom = to
+			botAt, botHas = t, true
+			d.recordFirst(isFirstOfCell, h, cell, t, ev.Type, bottom)
+			continue
+		}
+		// Machines without sub-structure (EMM-ECM) take Category-2
+		// events here by design: they are modeled as free processes, not
+		// violations.
+		if hasSubStructure(m) && !sm.Category1(ev.Type) {
+			d.Violations++
+		}
+		d.recordFirst(isFirstOfCell, h, cell, t, ev.Type, bottom)
+	}
+	return d
+}
+
+// recordFirst appends a first-event sample when the event opened a new
+// (day, hour) cell. state is the machine state right after the event.
+func (d *ueData) recordFirst(isFirst bool, h, cell int, t cp.Millis, e cp.EventType, state sm.State) {
+	if !isFirst {
+		return
+	}
+	hourStart := cp.Millis(cell) * cp.Hour
+	d.First = append(d.First, firstSample{
+		Hour:  uint8(h),
+		E:     e,
+		State: state,
+		Off:   (t - hourStart).Seconds(),
+	})
+}
+
+func macroNext(e cp.EventType) cp.UEState {
+	switch e {
+	case cp.Attach, cp.ServiceRequest:
+		return cp.StateConnected
+	case cp.Detach:
+		return cp.StateDeregistered
+	case cp.S1ConnRelease:
+		return cp.StateIdle
+	}
+	panic("core: macroNext of Category-2 event")
+}
+
+// hasSubStructure reports whether the machine has any bottom-level edges.
+func hasSubStructure(m *sm.Machine) bool {
+	for s := 0; s < m.NumStates(); s++ {
+		for _, e := range m.Edges[s] {
+			if m.Top(e.To) == m.Top(sm.State(s)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- aggregation ---
+
+type acc struct {
+	TopCount  map[topKey]int
+	TopSoj    map[topKey][]float64
+	BotCount  map[botKey]int
+	BotSoj    map[botKey][]float64
+	BotCensor map[sm.State][]float64
+	FreeIA    map[cp.EventType][]float64
+	FirstCnt  map[firstCatKey]int
+	FirstOff  []float64
+	Cells     int // UE-day cells (PNone denominator)
+	WithEv    int // cells that had at least one event
+	NumUEs    int
+}
+
+func newAcc() *acc {
+	return &acc{
+		TopCount:  make(map[topKey]int),
+		TopSoj:    make(map[topKey][]float64),
+		BotCount:  make(map[botKey]int),
+		BotSoj:    make(map[botKey][]float64),
+		BotCensor: make(map[sm.State][]float64),
+		FreeIA:    make(map[cp.EventType][]float64),
+		FirstCnt:  make(map[firstCatKey]int),
+	}
+}
+
+// addUEHour folds the hour-h samples of one UE into the accumulator.
+func (a *acc) addUEHour(d *ueData, h int, days int) {
+	a.NumUEs++
+	a.Cells += days
+	for _, s := range d.Top {
+		if int(s.Hour) != h {
+			continue
+		}
+		a.TopCount[s.Key]++
+		if s.Has {
+			a.TopSoj[s.Key] = append(a.TopSoj[s.Key], s.Soj)
+		}
+	}
+	for _, s := range d.Bot {
+		if int(s.Hour) != h {
+			continue
+		}
+		a.BotCount[s.Key]++
+		if s.Has {
+			a.BotSoj[s.Key] = append(a.BotSoj[s.Key], s.Soj)
+		}
+	}
+	for _, s := range d.BotCensor {
+		if int(s.Hour) != h {
+			continue
+		}
+		a.BotCensor[s.S] = append(a.BotCensor[s.S], s.Dur)
+	}
+	for _, s := range d.Free {
+		if int(s.Hour) != h {
+			continue
+		}
+		a.FreeIA[s.E] = append(a.FreeIA[s.E], s.IA)
+	}
+	for _, f := range d.First {
+		if int(f.Hour) != h {
+			continue
+		}
+		a.WithEv++
+		a.FirstCnt[firstCatKey{E: f.E, S: f.State}]++
+		a.FirstOff = append(a.FirstOff, f.Off)
+	}
+}
+
+// addUEAll folds every hour of one UE into the accumulator (used for the
+// hour-agnostic global fallback model).
+func (a *acc) addUEAll(d *ueData, days int) {
+	a.NumUEs++
+	a.Cells += days * HoursPerDay
+	for _, s := range d.Top {
+		a.TopCount[s.Key]++
+		if s.Has {
+			a.TopSoj[s.Key] = append(a.TopSoj[s.Key], s.Soj)
+		}
+	}
+	for _, s := range d.Bot {
+		a.BotCount[s.Key]++
+		if s.Has {
+			a.BotSoj[s.Key] = append(a.BotSoj[s.Key], s.Soj)
+		}
+	}
+	for _, s := range d.BotCensor {
+		a.BotCensor[s.S] = append(a.BotCensor[s.S], s.Dur)
+	}
+	for _, s := range d.Free {
+		a.FreeIA[s.E] = append(a.FreeIA[s.E], s.IA)
+	}
+	for _, f := range d.First {
+		a.WithEv++
+		a.FirstCnt[firstCatKey{E: f.E, S: f.State}]++
+		a.FirstOff = append(a.FirstOff, f.Off)
+	}
+}
+
+// build converts an accumulator into a ClusterModel.
+func (a *acc) build(m *sm.Machine, opt FitOptions) ClusterModel {
+	cm := ClusterModel{
+		Top:    make([]StateParam, cp.NumUEStates),
+		NumUEs: a.NumUEs,
+	}
+	if hasSubStructure(m) {
+		cm.Bottom = make([]StateParam, m.NumStates())
+	}
+	// Top level: normalize counts per macro state.
+	var topTotal [cp.NumUEStates]int
+	for k, c := range a.TopCount {
+		topTotal[k.S] += c
+	}
+	for k, c := range a.TopCount {
+		p := float64(c) / float64(topTotal[k.S])
+		cm.Top[k.S].Out = append(cm.Top[k.S].Out, TransitionParam{
+			Event:   k.E,
+			P:       p,
+			Sojourn: FitSojourn(a.TopSoj[k], opt.SojournKind),
+		})
+	}
+	// Bottom level, with competing-risks censoring. The state-level
+	// delay marginal is estimated with Kaplan–Meier (SojournTable kind)
+	// or the censored exponential MLE (SojournExp kind); the race
+	// against the top level then re-applies the censoring naturally.
+	// PExit is the KM tail mass: the probability the sub-machine never
+	// fires within observable horizons.
+	if cm.Bottom != nil {
+		botTotal := make([]int, m.NumStates())
+		firedBy := make([][]float64, m.NumStates())
+		for k, c := range a.BotCount {
+			botTotal[k.S] += c
+		}
+		for k, soj := range a.BotSoj {
+			firedBy[k.S] = append(firedBy[k.S], soj...)
+		}
+		for k, c := range a.BotCount {
+			p := float64(c) / float64(botTotal[k.S])
+			cm.Bottom[k.S].Out = append(cm.Bottom[k.S].Out, TransitionParam{
+				Event:   k.E,
+				P:       p,
+				Sojourn: FitSojourn(a.BotSoj[k], opt.SojournKind),
+			})
+		}
+		for s := 0; s < m.NumStates(); s++ {
+			fired := firedBy[s]
+			censored := a.BotCensor[sm.State(s)]
+			if len(fired) == 0 {
+				continue
+			}
+			switch opt.SojournKind {
+			case SojournExp:
+				if lambda, ok := stats.CensoredExpMLE(fired, censored); ok {
+					cm.Bottom[s].Sojourn = &SojournModel{Kind: SojournExp, Lambda: lambda}
+				}
+			default:
+				if q, tail, ok := stats.KaplanMeier(fired, censored); ok {
+					cm.Bottom[s].Sojourn = &SojournModel{Kind: SojournTable, Q: q.Q}
+					cm.Bottom[s].PExit = tail
+				}
+			}
+		}
+	}
+	// Deterministic transition order (by event) for reproducible output.
+	for i := range cm.Top {
+		sortTransitions(cm.Top[i].Out)
+	}
+	for i := range cm.Bottom {
+		sortTransitions(cm.Bottom[i].Out)
+	}
+	// Free processes.
+	for _, e := range opt.FreeEvents {
+		ia := a.FreeIA[e]
+		if len(ia) < 2 {
+			continue
+		}
+		cm.Free = append(cm.Free, FreeProcess{
+			Event: e,
+			Inter: FitSojourn(ia, opt.SojournKind),
+		})
+	}
+	// First-event model.
+	if a.Cells > 0 && a.WithEv > 0 {
+		cm.First.PNone = 1 - float64(a.WithEv)/float64(a.Cells)
+		cats := make([]FirstCat, 0, len(a.FirstCnt))
+		for k, c := range a.FirstCnt {
+			cats = append(cats, FirstCat{
+				Event: k.E,
+				State: k.S,
+				P:     float64(c) / float64(a.WithEv),
+			})
+		}
+		sort.Slice(cats, func(i, j int) bool {
+			if cats[i].Event != cats[j].Event {
+				return cats[i].Event < cats[j].Event
+			}
+			return cats[i].State < cats[j].State
+		})
+		cm.First.Cats = cats
+		cm.First.Offset = FitSojourn(a.FirstOff, SojournTable)
+	}
+	return cm
+}
+
+func sortTransitions(out []TransitionParam) {
+	sort.Slice(out, func(i, j int) bool { return out[i].Event < out[j].Event })
+}
+
+// --- device-level fitting ---
+
+func fitDevice(tr *trace.Trace, d cp.DeviceType, days int, opt FitOptions) (*DeviceModel, int, error) {
+	ues := tr.UEsOfType(d)
+	if len(ues) == 0 {
+		return nil, 0, nil
+	}
+	sub := tr.FilterDevice(d)
+	perUE := sub.PerUE()
+
+	// Pass 1: extract per-UE samples and features.
+	data := make([]*ueData, len(ues))
+	for i, ue := range ues {
+		evs := perUE[ue]
+		sort.Slice(evs, func(a, b int) bool { return evs[a].Before(evs[b]) })
+		data[i] = extractUE(opt.Machine, ue, evs)
+	}
+
+	// Pass 2: cluster per hour-of-day.
+	assignments := make([]map[cp.UEID]int, HoursPerDay)
+	numClusters := make([]int, HoursPerDay)
+	weights := make([][]float64, HoursPerDay)
+	for h := 0; h < HoursPerDay; h++ {
+		if opt.NoClustering {
+			asg := make(map[cp.UEID]int, len(ues))
+			for _, ue := range ues {
+				asg[ue] = 0
+			}
+			assignments[h] = asg
+			numClusters[h] = 1
+			weights[h] = []float64{1}
+			continue
+		}
+		pts := make([]cluster.Point, len(ues))
+		for i, ue := range ues {
+			pts[i] = cluster.Point{UE: ue, F: featuresAt(data[i], h, days)}
+		}
+		cs := cluster.Partition(pts, opt.Cluster)
+		assignments[h] = cluster.Assignment(cs)
+		numClusters[h] = len(cs)
+		weights[h] = cluster.Weights(cs)
+	}
+
+	// Pass 3: personas (deduplicated per-UE cluster-membership vectors).
+	personas := buildPersonas(ues, assignments)
+
+	// Pass 4: accumulate samples per (hour, cluster) and fallbacks.
+	dm := &DeviceModel{
+		Personas: personas,
+		Hours:    make([]HourModel, HoursPerDay),
+	}
+	global := newAcc()
+	for h := 0; h < HoursPerDay; h++ {
+		accs := make([]*acc, numClusters[h])
+		for c := range accs {
+			accs[c] = newAcc()
+		}
+		agg := newAcc()
+		for i, ue := range ues {
+			c := assignments[h][ue]
+			accs[c].addUEHour(data[i], h, days)
+			agg.addUEHour(data[i], h, days)
+		}
+		hm := &dm.Hours[h]
+		hm.Clusters = make([]ClusterModel, numClusters[h])
+		for c := range accs {
+			hm.Clusters[c] = accs[c].build(opt.Machine, opt)
+		}
+		a := agg.build(opt.Machine, opt)
+		hm.Aggregate = &a
+		hm.Weights = weights[h]
+	}
+	for i := range ues {
+		global.addUEAll(data[i], days)
+	}
+	g := global.build(opt.Machine, opt)
+	dm.Global = &g
+	return dm, len(ues), nil
+}
+
+// featuresAt computes the clustering features of one UE for hour h:
+// per-day average SRV_REQ and S1_CONN_REL counts and the standard
+// deviations of its CONNECTED and IDLE sojourns in that hour (§5.3).
+func featuresAt(d *ueData, h, days int) cluster.Features {
+	var conn, idle []float64
+	for _, s := range d.Top {
+		if int(s.Hour) != h || !s.Has {
+			continue
+		}
+		switch s.Key.S {
+		case cp.StateConnected:
+			conn = append(conn, s.Soj)
+		case cp.StateIdle:
+			idle = append(idle, s.Soj)
+		}
+	}
+	return cluster.Features{
+		cluster.FSrvReqCount: float64(d.Counts[h][cp.ServiceRequest]) / float64(days),
+		cluster.FConnStd:     stats.StdDev(conn),
+		cluster.FS1RelCount:  float64(d.Counts[h][cp.S1ConnRelease]) / float64(days),
+		cluster.FIdleStd:     stats.StdDev(idle),
+	}
+}
+
+// buildPersonas deduplicates per-UE cluster-membership vectors into
+// weighted personas.
+func buildPersonas(ues []cp.UEID, assignments []map[cp.UEID]int) []Persona {
+	type key [HoursPerDay]int
+	counts := make(map[key]int)
+	order := []key{}
+	for _, ue := range ues {
+		var k key
+		for h := 0; h < HoursPerDay; h++ {
+			k[h] = assignments[h][ue]
+		}
+		if _, ok := counts[k]; !ok {
+			order = append(order, k)
+		}
+		counts[k]++
+	}
+	sort.Slice(order, func(i, j int) bool {
+		for h := 0; h < HoursPerDay; h++ {
+			if order[i][h] != order[j][h] {
+				return order[i][h] < order[j][h]
+			}
+		}
+		return false
+	})
+	out := make([]Persona, len(order))
+	total := float64(len(ues))
+	for i, k := range order {
+		cl := make([]int, HoursPerDay)
+		copy(cl, k[:])
+		out[i] = Persona{Cluster: cl, Weight: float64(counts[k]) / total}
+	}
+	return out
+}

@@ -1,0 +1,565 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"cptraffic/internal/cp"
+	"cptraffic/internal/sm"
+	"cptraffic/internal/stats"
+	"cptraffic/internal/trace"
+)
+
+// GenOptions configures trace synthesis.
+type GenOptions struct {
+	// NumUEs is the synthetic population size (any size — the model is
+	// per-UE, so it scales to populations far larger than the training
+	// trace, the paper's Scenario 2).
+	NumUEs int
+	// StartHour is the hour-of-day H at which generation starts (§7).
+	StartHour int
+	// Duration is the length of the synthesized trace.
+	Duration cp.Millis
+	// Seed makes the output deterministic; each UE derives an
+	// independent stream from it.
+	Seed uint64
+	// Workers bounds the number of concurrent per-UE generators; 0 means
+	// GOMAXPROCS. It never affects the output, only the wall clock.
+	Workers int
+	// DeviceMix optionally overrides the device-type population shares;
+	// nil uses the training trace's shares.
+	DeviceMix []float64
+}
+
+// maxEventsPerUE is a safety valve against pathological fitted models
+// (e.g. a zero-width sojourn on a self-loop); no realistic UE comes
+// anywhere near it.
+const maxEventsPerUE = 1 << 20
+
+// minSojournSec keeps generated events strictly advancing in time: two
+// control events of one UE are never closer than 1 ms (the trace
+// granularity).
+const minSojournSec = 0.001
+
+// Generate synthesizes a control-plane trace for opt.NumUEs UEs starting
+// at hour opt.StartHour, by running one per-UE semi-Markov generator per
+// UE concurrently (§7). The result covers [StartHour*Hour,
+// StartHour*Hour+Duration) and is sorted.
+func Generate(ms *ModelSet, opt GenOptions) (*trace.Trace, error) {
+	jobs, machine, t0, end, workers, err := planGeneration(ms, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]trace.Event, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var evs []trace.Event
+			for i := w; i < len(jobs); i += workers {
+				j := jobs[i]
+				dm := ms.Device(j.dev)
+				if dm == nil {
+					continue
+				}
+				g := newUEGen(machine, dm, j.ue, j.rng, t0, end)
+				for {
+					ev, ok := g.Next()
+					if !ok {
+						break
+					}
+					evs = append(evs, ev)
+				}
+			}
+			out[w] = evs
+		}(w)
+	}
+	wg.Wait()
+
+	tr := trace.New()
+	for _, j := range jobs {
+		tr.Device[j.ue] = j.dev
+	}
+	n := 0
+	for _, evs := range out {
+		n += len(evs)
+	}
+	tr.Events = make([]trace.Event, 0, n)
+	for _, evs := range out {
+		tr.Events = append(tr.Events, evs...)
+	}
+	tr.Sort()
+	return tr, nil
+}
+
+// Stream synthesizes the same trace Generate would, but delivers events
+// one at a time in global (time, UE) order with O(NumUEs) memory instead
+// of materializing everything: the per-UE generators are merged with a
+// heap. fn returning an error aborts the stream. The device registration
+// of every UE is reported through reg before any event is delivered.
+//
+// Use it to drive a live core with populations whose full trace would
+// not fit in memory, or to pipe events into another system as they are
+// drawn.
+func Stream(ms *ModelSet, opt GenOptions, reg func(cp.UEID, cp.DeviceType) error, fn func(trace.Event) error) error {
+	jobs, machine, t0, end, _, err := planGeneration(ms, opt)
+	if err != nil {
+		return err
+	}
+	if reg != nil {
+		for _, j := range jobs {
+			if err := reg(j.ue, j.dev); err != nil {
+				return err
+			}
+		}
+	}
+	h := &genHeap{}
+	for _, j := range jobs {
+		dm := ms.Device(j.dev)
+		if dm == nil {
+			continue
+		}
+		g := newUEGen(machine, dm, j.ue, j.rng, t0, end)
+		if ev, ok := g.Next(); ok {
+			h.items = append(h.items, genHeapItem{ev: ev, g: g})
+		}
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		item := h.items[0]
+		if err := fn(item.ev); err != nil {
+			return err
+		}
+		if ev, ok := item.g.Next(); ok {
+			h.items[0] = genHeapItem{ev: ev, g: item.g}
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	return nil
+}
+
+type genHeapItem struct {
+	ev trace.Event
+	g  *ueGen
+}
+
+type genHeap struct {
+	items []genHeapItem
+}
+
+func (h *genHeap) Len() int           { return len(h.items) }
+func (h *genHeap) Less(i, j int) bool { return h.items[i].ev.Before(h.items[j].ev) }
+func (h *genHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *genHeap) Push(x interface{}) { h.items = append(h.items, x.(genHeapItem)) }
+func (h *genHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	item := old[n-1]
+	h.items = old[:n-1]
+	return item
+}
+
+// genJob is one UE's generation assignment.
+type genJob struct {
+	ue  cp.UEID
+	dev cp.DeviceType
+	rng *stats.RNG
+}
+
+// planGeneration validates options and pre-derives every UE's device and
+// RNG stream, so results do not depend on scheduling.
+func planGeneration(ms *ModelSet, opt GenOptions) ([]genJob, *sm.Machine, cp.Millis, cp.Millis, int, error) {
+	if opt.NumUEs <= 0 {
+		return nil, nil, 0, 0, 0, fmt.Errorf("core: NumUEs must be positive")
+	}
+	if opt.StartHour < 0 || opt.StartHour >= HoursPerDay {
+		return nil, nil, 0, 0, 0, fmt.Errorf("core: StartHour %d out of range", opt.StartHour)
+	}
+	if opt.Duration <= 0 {
+		return nil, nil, 0, 0, 0, fmt.Errorf("core: Duration must be positive")
+	}
+	machine, err := ms.Machine()
+	if err != nil {
+		return nil, nil, 0, 0, 0, err
+	}
+	mix, err := deviceMix(ms, opt.DeviceMix)
+	if err != nil {
+		return nil, nil, 0, 0, 0, err
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opt.NumUEs {
+		workers = opt.NumUEs
+	}
+	t0 := cp.Millis(opt.StartHour) * cp.Hour
+	end := t0 + opt.Duration
+	root := stats.NewRNG(opt.Seed)
+	jobs := make([]genJob, opt.NumUEs)
+	for i := range jobs {
+		r := root.Split(uint64(i) + 1)
+		jobs[i] = genJob{ue: cp.UEID(i), dev: pickDevice(mix, r), rng: r}
+	}
+	return jobs, machine, t0, end, workers, nil
+}
+
+// deviceMix resolves the device-type population shares.
+func deviceMix(ms *ModelSet, override []float64) ([]float64, error) {
+	mix := make([]float64, cp.NumDeviceTypes)
+	if override != nil {
+		if len(override) != cp.NumDeviceTypes {
+			return nil, fmt.Errorf("core: DeviceMix must have %d entries", cp.NumDeviceTypes)
+		}
+		copy(mix, override)
+	} else {
+		for d, dm := range ms.Devices {
+			if dm != nil {
+				mix[d] = dm.Share
+			}
+		}
+	}
+	var sum float64
+	for d, m := range mix {
+		if m > 0 && ms.Devices[d] == nil {
+			return nil, fmt.Errorf("core: DeviceMix requests %v but the model has no such device", cp.DeviceType(d))
+		}
+		sum += m
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("core: empty device mix")
+	}
+	for d := range mix {
+		mix[d] /= sum
+	}
+	return mix, nil
+}
+
+func pickDevice(mix []float64, r *stats.RNG) cp.DeviceType {
+	u := r.Float64()
+	var acc float64
+	for d, m := range mix {
+		acc += m
+		if u < acc {
+			return cp.DeviceType(d)
+		}
+	}
+	for d := len(mix) - 1; d >= 0; d-- {
+		if mix[d] > 0 {
+			return cp.DeviceType(d)
+		}
+	}
+	return cp.Phone
+}
+
+// pending is a scheduled future event of one level of the generator.
+type pending struct {
+	at    cp.Millis
+	ev    cp.EventType
+	valid bool
+	// toTop / toBot are the successor states (only one is meaningful,
+	// depending on which level owns the pending event).
+	toTop cp.UEState
+	toBot sm.State
+}
+
+// ueGen is one per-UE traffic generator (§7), exposed as an incremental
+// iterator: Next returns the UE's events one at a time in time order.
+// It samples the first event from the first-event model, then drives the
+// two-level machine — both levels keep their own timers and race; a
+// top-level transition drops the bottom level's pending event and
+// re-enters the sub-machine of the new top state. Free-running processes
+// (Base/V1's HO and TAU) race alongside while the UE is registered.
+type ueGen struct {
+	m       *sm.Machine
+	dm      *DeviceModel
+	ue      cp.UEID
+	rng     *stats.RNG
+	t0, end cp.Millis
+
+	personaIdx int
+	started    bool
+	exhausted  bool
+	emitted    int
+
+	top    cp.UEState
+	bottom sm.State
+	topP   pending
+	botP   pending
+	free   map[cp.EventType]cp.Millis
+
+	// queue holds events already decided but not yet delivered (the
+	// sub-machine flush before a blocked top-level event produces
+	// several at once).
+	queue []trace.Event
+}
+
+// newUEGen prepares the iterator; no work happens until the first Next.
+func newUEGen(m *sm.Machine, dm *DeviceModel, ue cp.UEID, rng *stats.RNG, t0, end cp.Millis) *ueGen {
+	return &ueGen{
+		m: m, dm: dm, ue: ue, rng: rng, t0: t0, end: end,
+		personaIdx: dm.pickPersona(rng),
+		free:       map[cp.EventType]cp.Millis{},
+	}
+}
+
+// Next returns the UE's next event, or ok=false when the window is done.
+func (g *ueGen) Next() (trace.Event, bool) {
+	for {
+		if len(g.queue) > 0 {
+			ev := g.queue[0]
+			g.queue = g.queue[1:]
+			g.emitted++
+			return ev, true
+		}
+		if g.exhausted || g.emitted >= maxEventsPerUE {
+			return trace.Event{}, false
+		}
+		if !g.started {
+			g.startup()
+			continue
+		}
+		g.step()
+	}
+}
+
+func (g *ueGen) clusterAt(t cp.Millis) int {
+	if g.personaIdx < 0 {
+		return -1
+	}
+	h := t.HourOfDay()
+	p := g.dm.Personas[g.personaIdx]
+	if h < len(p.Cluster) {
+		return p.Cluster[h]
+	}
+	return -1
+}
+
+func (g *ueGen) push(t cp.Millis, e cp.EventType) {
+	g.queue = append(g.queue, trace.Event{T: t, UE: g.ue, Type: e})
+}
+
+// startup finds the first event (§5.4): a UE silent in one hour re-rolls
+// the next hour's first-event model.
+func (g *ueGen) startup() {
+	g.started = true
+	for hourStart := g.t0; hourStart < g.end; hourStart += cp.Hour {
+		fe, ok := g.dm.firstEvent(hourStart.HourOfDay(), g.clusterAt(hourStart))
+		if !ok {
+			continue
+		}
+		silent, cat, off := fe.sample(g.rng)
+		if silent {
+			continue
+		}
+		t := hourStart + cp.MillisFromSeconds(off)
+		if t >= g.end {
+			break
+		}
+		g.push(t, cat.Event)
+		// The fitted category carries the post-event machine state, so
+		// e.g. a first TAU lands in TAU_S_IDLE when the training UEs
+		// were idle, not blindly in TAU_S_CONN.
+		fine := cat.State
+		if int(fine) >= g.m.NumStates() {
+			fine = g.m.Forced(cat.Event)
+		}
+		g.top = g.m.Top(fine)
+		g.bottom = fine
+		g.drawTop(t)
+		g.drawBot(t)
+		g.drawFree(t)
+		return
+	}
+	g.exhausted = true
+}
+
+// step advances the two-level race by one firing, pushing the resulting
+// event(s) onto the queue (or marking the generator exhausted).
+func (g *ueGen) step() {
+	next := cp.Millis(math.MaxInt64)
+	kind := 0 // 0 none, 1 top, 2 bottom, 3 free
+	var freeEv cp.EventType
+	if g.topP.valid && g.topP.at < next {
+		next, kind = g.topP.at, 1
+	}
+	if g.botP.valid && g.botP.at < next {
+		next, kind = g.botP.at, 2
+	}
+	for e, at := range g.free {
+		if at < next {
+			next, kind, freeEv = at, 3, e
+		}
+	}
+	if kind == 0 || next >= g.end {
+		g.exhausted = true
+		return
+	}
+	switch kind {
+	case 1:
+		// The top event must be legal from the current bottom state
+		// (the starred arrow in Fig. 5: SRV_REQ may not leave IDLE from
+		// TAU_S_IDLE). If it is not, flush the sub-machine first: the
+		// protocol mandates the TAU's S1_CONN_REL before the connection
+		// can be re-established.
+		at := next
+		for guard := 0; guard < 8; guard++ {
+			if _, ok := g.m.Next(g.bottom, g.topP.ev); ok {
+				break
+			}
+			ev, to, found := bridgeEdge(g.m, g.bottom, g.botP)
+			if !found {
+				break
+			}
+			g.push(at, ev)
+			g.bottom = to
+			at += cp.Millis(1)
+		}
+		g.push(at, g.topP.ev)
+		g.top = g.topP.toTop
+		g.bottom = g.m.SubEntry(g.top)
+		g.drawTop(at)
+		g.drawBot(at)
+		g.drawFree(at)
+	case 2:
+		g.push(next, g.botP.ev)
+		g.bottom = g.botP.toBot
+		g.drawBot(next)
+	case 3:
+		g.push(next, freeEv)
+		g.redrawOneFree(freeEv, next)
+	}
+}
+
+func (g *ueGen) drawTop(now cp.Millis) {
+	g.topP = pending{}
+	params := g.dm.topParams(now.HourOfDay(), g.clusterAt(now), g.top)
+	tp, ok := pickFrom(params, g.rng)
+	if !ok {
+		return
+	}
+	to, ok := topNext(g.top, tp.Event)
+	if !ok {
+		return
+	}
+	d := math.Max(tp.Sojourn.Sample(g.rng), minSojournSec)
+	g.topP = pending{at: now + cp.MillisFromSeconds(d), ev: tp.Event, valid: true, toTop: to}
+}
+
+func (g *ueGen) drawBot(now cp.Millis) {
+	g.botP = pending{}
+	sp := g.dm.bottomParams(now.HourOfDay(), g.clusterAt(now), g.bottom)
+	if sp == nil {
+		return
+	}
+	// KM tail mass: the probability the sub-machine never fires within
+	// observable horizons; the bottom stays silent until the next
+	// top-level transition re-enters it.
+	if sp.PExit > 0 && g.rng.Float64() < sp.PExit {
+		return
+	}
+	tp, ok := pickFrom(sp.Out, g.rng)
+	if !ok {
+		return
+	}
+	to, ok := g.m.Next(g.bottom, tp.Event)
+	if !ok || g.m.Top(to) != g.top {
+		return
+	}
+	// Prefer the Kaplan-Meier state-level delay marginal: it is the
+	// unbiased estimate under the top-level race (per-transition
+	// sojourns are fitted on uncensored observations only).
+	soj := tp.Sojourn
+	if sp.Sojourn != nil {
+		soj = *sp.Sojourn
+	}
+	d := math.Max(soj.Sample(g.rng), minSojournSec)
+	g.botP = pending{at: now + cp.MillisFromSeconds(d), ev: tp.Event, valid: true, toBot: to}
+}
+
+func (g *ueGen) drawFree(now cp.Millis) {
+	for k := range g.free {
+		delete(g.free, k)
+	}
+	if g.top == cp.StateDeregistered {
+		return
+	}
+	for _, fp := range g.dm.freeParams(now.HourOfDay(), g.clusterAt(now)) {
+		d := math.Max(fp.Inter.Sample(g.rng), minSojournSec)
+		g.free[fp.Event] = now + cp.MillisFromSeconds(d)
+	}
+}
+
+func (g *ueGen) redrawOneFree(e cp.EventType, now cp.Millis) {
+	for _, fp := range g.dm.freeParams(now.HourOfDay(), g.clusterAt(now)) {
+		if fp.Event == e {
+			d := math.Max(fp.Inter.Sample(g.rng), minSojournSec)
+			g.free[e] = now + cp.MillisFromSeconds(d)
+			return
+		}
+	}
+	delete(g.free, e)
+}
+
+// bridgeEdge chooses the sub-machine event that moves the bottom level
+// toward a state from which a blocked top-level event becomes legal:
+// preferably the already-pending bottom event, otherwise the first
+// within-macro machine edge.
+func bridgeEdge(m *sm.Machine, bottom sm.State, botP pending) (cp.EventType, sm.State, bool) {
+	if botP.valid {
+		return botP.ev, botP.toBot, true
+	}
+	for _, e := range m.Edges[bottom] {
+		if m.Top(e.To) == m.Top(bottom) {
+			return e.Event, e.To, true
+		}
+	}
+	return 0, bottom, false
+}
+
+// pickFrom samples a transition from params by probability.
+func pickFrom(params []TransitionParam, r *stats.RNG) (TransitionParam, bool) {
+	if len(params) == 0 {
+		return TransitionParam{}, false
+	}
+	u := r.Float64()
+	var acc float64
+	for _, tp := range params {
+		acc += tp.P
+		if u < acc {
+			return tp, true
+		}
+	}
+	return params[len(params)-1], true
+}
+
+// topNext gives the macro-level successor for a Category-1 event leaving
+// macro state s. It mirrors the shared top-level structure of all three
+// machines.
+func topNext(s cp.UEState, e cp.EventType) (cp.UEState, bool) {
+	switch e {
+	case cp.Attach:
+		if s == cp.StateDeregistered {
+			return cp.StateConnected, true
+		}
+	case cp.Detach:
+		if s != cp.StateDeregistered {
+			return cp.StateDeregistered, true
+		}
+	case cp.ServiceRequest:
+		if s == cp.StateIdle {
+			return cp.StateConnected, true
+		}
+	case cp.S1ConnRelease:
+		if s == cp.StateConnected {
+			return cp.StateIdle, true
+		}
+	}
+	return s, false
+}

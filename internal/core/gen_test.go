@@ -1,0 +1,319 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"cptraffic/internal/cp"
+	"cptraffic/internal/sm"
+	"cptraffic/internal/trace"
+)
+
+// fitToy fits a model on a toy world trace.
+func fitToy(t *testing.T, nUEs int, dur cp.Millis, seed uint64, opt FitOptions) *ModelSet {
+	t.Helper()
+	if opt.Cluster.ThetaN == 0 {
+		opt.Cluster = clusterOptSmall()
+	}
+	tr := toyTrace(t, nUEs, dur, seed)
+	ms, err := Fit(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+func TestGenerateBasics(t *testing.T) {
+	ms := fitToy(t, 60, 3*cp.Hour, 10, FitOptions{})
+	gen, err := Generate(ms, GenOptions{NumUEs: 100, StartHour: 0, Duration: cp.Hour, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !gen.Sorted() {
+		t.Fatal("generated trace not sorted")
+	}
+	if gen.NumUEs() != 100 {
+		t.Fatalf("NumUEs = %d", gen.NumUEs())
+	}
+	if gen.Len() == 0 {
+		t.Fatal("no events generated")
+	}
+	lo, hi := gen.Span()
+	if lo < 0 || hi > cp.Hour+1 {
+		t.Fatalf("span = [%d,%d)", lo, hi)
+	}
+}
+
+func TestGenerateStartHourWindow(t *testing.T) {
+	ms := fitToy(t, 60, 6*cp.Hour, 11, FitOptions{})
+	gen, err := Generate(ms, GenOptions{NumUEs: 50, StartHour: 2, Duration: 2 * cp.Hour, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := gen.Span()
+	if lo < 2*cp.Hour || hi > 4*cp.Hour+1 {
+		t.Fatalf("span = [%d,%d), want within [2h,4h)", lo, hi)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	ms := fitToy(t, 40, 2*cp.Hour, 12, FitOptions{})
+	a, err := Generate(ms, GenOptions{NumUEs: 60, Duration: cp.Hour, Seed: 99, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(ms, GenOptions{NumUEs: 60, Duration: cp.Hour, Seed: 99, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatal("generation depends on worker count")
+	}
+	if !reflect.DeepEqual(a.Device, b.Device) {
+		t.Fatal("device assignment depends on worker count")
+	}
+	c, err := Generate(ms, GenOptions{NumUEs: 60, Duration: cp.Hour, Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGeneratedTraceIsProtocolConformant(t *testing.T) {
+	// The defining claim of the two-level model: generated traces follow
+	// the two-level machine (per UE), so e.g. HO never fires in IDLE.
+	ms := fitToy(t, 60, 4*cp.Hour, 13, FitOptions{})
+	gen, err := Generate(ms, GenOptions{NumUEs: 200, Duration: 2 * cp.Hour, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sm.LTE2Level()
+	totalViolations := 0
+	for _, evs := range gen.PerUE() {
+		if len(evs) == 0 {
+			continue
+		}
+		res := sm.Replay(m, sm.InferInitial(m, evs), evs)
+		totalViolations += res.Violations
+	}
+	if totalViolations != 0 {
+		t.Fatalf("generated trace has %d protocol violations", totalViolations)
+	}
+}
+
+func TestGeneratedBreakdownTracksSource(t *testing.T) {
+	// Macroscopic fidelity at toy scale: per-event-type shares of the
+	// generated trace within 10 percentage points of the source.
+	src := toyTrace(t, 90, 4*cp.Hour, 14)
+	ms, err := Fit(src, FitOptions{Cluster: clusterOptSmall()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := Generate(ms, GenOptions{NumUEs: 300, Duration: 4 * cp.Hour, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcC, genC := src.CountByType(), gen.CountByType()
+	srcN, genN := src.Len(), gen.Len()
+	if genN == 0 {
+		t.Fatal("no events")
+	}
+	for _, e := range cp.EventTypes {
+		s := float64(srcC[e]) / float64(srcN)
+		g := float64(genC[e]) / float64(genN)
+		if math.Abs(s-g) > 0.10 {
+			t.Errorf("%v share: source %.3f vs generated %.3f", e, s, g)
+		}
+	}
+}
+
+func TestGenerateScalesPopulation(t *testing.T) {
+	// 10x the training population, per-UE volume should stay comparable.
+	ms := fitToy(t, 30, 2*cp.Hour, 15, FitOptions{})
+	small, err := Generate(ms, GenOptions{NumUEs: 30, Duration: cp.Hour, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Generate(ms, GenOptions{NumUEs: 300, Duration: cp.Hour, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSmall := float64(small.Len()) / 30
+	perBig := float64(big.Len()) / 300
+	if perSmall == 0 || perBig == 0 {
+		t.Fatal("no events")
+	}
+	ratio := perBig / perSmall
+	if ratio < 0.6 || ratio > 1.6 {
+		t.Fatalf("per-UE volume changed with population: %.1f vs %.1f", perSmall, perBig)
+	}
+}
+
+func TestGenerateBaseEmitsHOInIdle(t *testing.T) {
+	// The Base method must exhibit the paper's failure mode: HO events
+	// while IDLE, which the two-level model never produces.
+	src := toyTrace(t, 90, 3*cp.Hour, 16)
+	base, err := Fit(src, FitOptions{
+		Machine:      sm.EMMECM(),
+		SojournKind:  SojournExp,
+		FreeEvents:   []cp.EventType{cp.Handover, cp.TrackingAreaUpdate},
+		NoClustering: true,
+		Method:       "base",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := Generate(base, GenOptions{NumUEs: 200, Duration: 2 * cp.Hour, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hoIdle := 0
+	for _, evs := range gen.PerUE() {
+		if len(evs) == 0 {
+			continue
+		}
+		b := sm.MacroBreakdown(evs, sm.InferMacroInitial(evs))
+		hoIdle += b[cp.Handover][cp.StateIdle]
+	}
+	if hoIdle == 0 {
+		t.Fatal("base method produced no HO in IDLE — free processes not running")
+	}
+}
+
+func TestGenerateOptionValidation(t *testing.T) {
+	ms := fitToy(t, 20, cp.Hour, 17, FitOptions{})
+	if _, err := Generate(ms, GenOptions{NumUEs: 0, Duration: cp.Hour}); err == nil {
+		t.Fatal("NumUEs=0 accepted")
+	}
+	if _, err := Generate(ms, GenOptions{NumUEs: 1, StartHour: 24, Duration: cp.Hour}); err == nil {
+		t.Fatal("StartHour=24 accepted")
+	}
+	if _, err := Generate(ms, GenOptions{NumUEs: 1, Duration: 0}); err == nil {
+		t.Fatal("Duration=0 accepted")
+	}
+	if _, err := Generate(ms, GenOptions{NumUEs: 1, Duration: cp.Hour, DeviceMix: []float64{1}}); err == nil {
+		t.Fatal("short DeviceMix accepted")
+	}
+	if _, err := Generate(ms, GenOptions{NumUEs: 1, Duration: cp.Hour, DeviceMix: []float64{0, 0, 0}}); err == nil {
+		t.Fatal("zero DeviceMix accepted")
+	}
+}
+
+func TestGenerateDeviceMixOverride(t *testing.T) {
+	ms := fitToy(t, 60, 2*cp.Hour, 18, FitOptions{})
+	gen, err := Generate(ms, GenOptions{
+		NumUEs:    300,
+		Duration:  cp.Hour,
+		Seed:      4,
+		DeviceMix: []float64{1, 0, 0}, // phones only
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ue, d := range gen.Device {
+		if d != cp.Phone {
+			t.Fatalf("UE %d is %v, want phone", ue, d)
+		}
+	}
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	ms := fitToy(t, 30, 2*cp.Hour, 19, FitOptions{})
+	var buf bytes.Buffer
+	if err := ms.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generation from the loaded model must match exactly.
+	a, err := Generate(ms, GenOptions{NumUEs: 40, Duration: cp.Hour, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(got, GenOptions{NumUEs: 40, Duration: cp.Hour, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatal("loaded model generates differently")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("{"))); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte(`{"machine":"NOPE","devices":[]}`))); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestValidateCatchesBadModels(t *testing.T) {
+	ms := fitToy(t, 20, cp.Hour, 20, FitOptions{})
+	// Corrupt a probability.
+	dm := ms.Device(cp.Phone)
+	for h := range dm.Hours {
+		for c := range dm.Hours[h].Clusters {
+			cm := &dm.Hours[h].Clusters[c]
+			for s := range cm.Top {
+				if len(cm.Top[s].Out) > 0 {
+					cm.Top[s].Out[0].P = 5
+					if err := ms.Validate(); err == nil {
+						t.Fatal("corrupted probability accepted")
+					}
+					return
+				}
+			}
+		}
+	}
+	t.Skip("no transitions to corrupt")
+}
+
+func TestNumModels(t *testing.T) {
+	ms := fitToy(t, 45, 2*cp.Hour, 21, FitOptions{})
+	n := ms.NumModels()
+	// 3 device types x 24 hours x >=1 cluster.
+	if n < 3*24 {
+		t.Fatalf("NumModels = %d", n)
+	}
+}
+
+func TestGenerateFiveGSAModel(t *testing.T) {
+	// A 5G SA model (fitted via the SA machine on a TAU-free trace)
+	// generates with no TAU at all.
+	src := toyTrace(t, 60, 3*cp.Hour, 22)
+	// Drop TAU events to make the trace 5G-SA-like (the fiveg package
+	// does this properly; here we exercise the machinery).
+	sa := trace.New()
+	for ue, d := range src.Device {
+		sa.SetDevice(ue, d)
+	}
+	for _, e := range src.Events {
+		if e.Type != cp.TrackingAreaUpdate {
+			sa.Events = append(sa.Events, e)
+		}
+	}
+	ms, err := Fit(sa, FitOptions{Machine: sm.FiveGSA(), Cluster: clusterOptSmall(), Method: "5g-sa"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := Generate(ms, GenOptions{NumUEs: 100, Duration: cp.Hour, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := gen.CountByType(); c[cp.TrackingAreaUpdate] != 0 {
+		t.Fatalf("5G SA generated %d TAU events", c[cp.TrackingAreaUpdate])
+	}
+	if gen.Len() == 0 {
+		t.Fatal("no events")
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cptraffic/internal/cp"
+	"cptraffic/internal/sm"
+	"cptraffic/internal/trace"
+)
+
+// sharedToyModel amortizes one fit across the property tests.
+var sharedToyModel *ModelSet
+
+func toyModel(t *testing.T) *ModelSet {
+	t.Helper()
+	if sharedToyModel == nil {
+		sharedToyModel = fitToy(t, 45, 3*cp.Hour, 77, FitOptions{})
+	}
+	return sharedToyModel
+}
+
+func TestPropertyPerUETimesStrictlyIncrease(t *testing.T) {
+	ms := toyModel(t)
+	f := func(seed uint64) bool {
+		gen, err := Generate(ms, GenOptions{NumUEs: 30, Duration: cp.Hour, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, evs := range gen.PerUE() {
+			for i := 1; i < len(evs); i++ {
+				if evs[i].T <= evs[i-1].T {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEventsWithinWindow(t *testing.T) {
+	ms := toyModel(t)
+	f := func(seed uint64, startRaw uint8) bool {
+		start := int(startRaw % 24)
+		gen, err := Generate(ms, GenOptions{
+			NumUEs: 20, StartHour: start, Duration: cp.Hour, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		t0 := cp.Millis(start) * cp.Hour
+		for _, e := range gen.Events {
+			if e.T < t0 || e.T >= t0+cp.Hour {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyGeneratedTracesConform(t *testing.T) {
+	ms := toyModel(t)
+	m := sm.LTE2Level()
+	f := func(seed uint64) bool {
+		gen, err := Generate(ms, GenOptions{NumUEs: 25, Duration: cp.Hour, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, evs := range gen.PerUE() {
+			if len(evs) == 0 {
+				continue
+			}
+			if sm.Replay(m, sm.InferInitial(m, evs), evs).Violations != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAllUEsRegisteredInOutput(t *testing.T) {
+	ms := toyModel(t)
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		gen, err := Generate(ms, GenOptions{NumUEs: n, Duration: cp.Hour, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if gen.NumUEs() != n {
+			return false
+		}
+		return gen.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFitTolerantOfProtocolNoise injects protocol-violating events into
+// a conformant trace; fitting must succeed and still produce a valid,
+// generatable model (real carrier traces contain glitches).
+func TestFitTolerantOfProtocolNoise(t *testing.T) {
+	tr := toyTrace(t, 40, 2*cp.Hour, 88)
+	// Inject HO events at random times for random UEs, with no regard
+	// for protocol state.
+	noisy := trace.New()
+	for ue, d := range tr.Device {
+		noisy.SetDevice(ue, d)
+	}
+	noisy.Events = append(noisy.Events, tr.Events...)
+	for i := 0; i < 200; i++ {
+		noisy.Events = append(noisy.Events, trace.Event{
+			T:    cp.Millis(i) * 30 * cp.Second,
+			UE:   cp.UEID(i % 40),
+			Type: cp.Handover,
+		})
+	}
+	noisy.Sort()
+	ms, err := Fit(noisy, FitOptions{Cluster: clusterOptSmall()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := Generate(ms, GenOptions{NumUEs: 40, Duration: cp.Hour, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Len() == 0 {
+		t.Fatal("noisy-fit model generated nothing")
+	}
+}
+
+// TestGenerateFromTruncatedModelDegradesGracefully removes hour models to
+// simulate partially trained models; generation must still work through
+// the fallback chain.
+func TestGenerateFromTruncatedModelDegradesGracefully(t *testing.T) {
+	ms := fitToy(t, 30, 2*cp.Hour, 89, FitOptions{})
+	dm := ms.Device(cp.Phone)
+	// Blow away every per-hour cluster model, keeping only the global
+	// fallback.
+	for h := range dm.Hours {
+		dm.Hours[h].Clusters = nil
+		dm.Hours[h].Aggregate = nil
+		dm.Hours[h].Weights = nil
+	}
+	gen, err := Generate(ms, GenOptions{
+		NumUEs: 50, Duration: cp.Hour, Seed: 2,
+		DeviceMix: []float64{1, 0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Len() == 0 {
+		t.Fatal("global-only model generated nothing")
+	}
+}

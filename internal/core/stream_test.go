@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"cptraffic/internal/cp"
+	"cptraffic/internal/stats"
+	"cptraffic/internal/trace"
+)
+
+func TestStreamMatchesGenerate(t *testing.T) {
+	ms := fitToy(t, 40, 2*cp.Hour, 90, FitOptions{})
+	opt := GenOptions{NumUEs: 80, Duration: cp.Hour, Seed: 5}
+	batch, err := Generate(ms, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := trace.New()
+	err = Stream(ms, opt,
+		func(ue cp.UEID, d cp.DeviceType) error { return streamed.SetDevice(ue, d) },
+		func(ev trace.Event) error {
+			streamed.Events = append(streamed.Events, ev)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(streamed.Device, batch.Device) {
+		t.Fatal("device registrations differ")
+	}
+	if !reflect.DeepEqual(streamed.Events, batch.Events) {
+		t.Fatalf("streamed %d events, batch %d; contents differ",
+			len(streamed.Events), len(batch.Events))
+	}
+}
+
+func TestStreamDeliversInOrder(t *testing.T) {
+	ms := fitToy(t, 30, 2*cp.Hour, 91, FitOptions{})
+	var prev trace.Event
+	first := true
+	err := Stream(ms, GenOptions{NumUEs: 60, Duration: cp.Hour, Seed: 6}, nil,
+		func(ev trace.Event) error {
+			if !first && ev.Before(prev) {
+				t.Fatalf("out of order: %v after %v", ev, prev)
+			}
+			prev, first = ev, false
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first {
+		t.Fatal("stream delivered nothing")
+	}
+}
+
+func TestStreamAbortsOnError(t *testing.T) {
+	ms := fitToy(t, 20, cp.Hour, 92, FitOptions{})
+	boom := errors.New("boom")
+	count := 0
+	err := Stream(ms, GenOptions{NumUEs: 30, Duration: cp.Hour, Seed: 7}, nil,
+		func(trace.Event) error {
+			count++
+			if count == 5 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if count != 5 {
+		t.Fatalf("delivered %d events after abort", count)
+	}
+	// Registration errors abort too.
+	err = Stream(ms, GenOptions{NumUEs: 5, Duration: cp.Hour, Seed: 7},
+		func(cp.UEID, cp.DeviceType) error { return boom },
+		func(trace.Event) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("registration err = %v", err)
+	}
+}
+
+func TestStreamValidatesOptions(t *testing.T) {
+	ms := fitToy(t, 10, cp.Hour, 93, FitOptions{})
+	if err := Stream(ms, GenOptions{NumUEs: 0, Duration: cp.Hour}, nil, nil); err == nil {
+		t.Fatal("NumUEs=0 accepted")
+	}
+}
+
+func TestUEGenIteratorResumable(t *testing.T) {
+	// Next can be called after exhaustion without panicking.
+	ms := fitToy(t, 10, cp.Hour, 94, FitOptions{})
+	dm := ms.Device(cp.Phone)
+	if dm == nil {
+		t.Skip("no phone model")
+	}
+	m, err := ms.Machine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newUEGen(m, dm, 1, stats.NewRNG(1), 0, cp.Hour)
+	n := 0
+	for {
+		_, ok := g.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := g.Next(); ok {
+			t.Fatal("exhausted iterator produced an event")
+		}
+	}
+}

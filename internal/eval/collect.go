@@ -1,0 +1,162 @@
+package eval
+
+import (
+	"cptraffic/internal/cluster"
+	"cptraffic/internal/cp"
+	"cptraffic/internal/sm"
+	"cptraffic/internal/stats"
+	"cptraffic/internal/trace"
+)
+
+// ueQuantities holds every fitted quantity's samples for one UE, bucketed
+// by hour-of-day.
+type ueQuantities struct {
+	samples map[hourQuantity][]float64
+	counts  [24][cp.NumEventTypes]int
+}
+
+type hourQuantity struct {
+	h int8
+	q Quantity
+}
+
+func (u *ueQuantities) add(h int, q Quantity, v float64) {
+	u.samples[hourQuantity{int8(h), q}] = append(u.samples[hourQuantity{int8(h), q}], v)
+}
+
+// at returns the samples of quantity q in hour-of-day h.
+func (u *ueQuantities) at(h int, q Quantity) []float64 {
+	return u.samples[hourQuantity{int8(h), q}]
+}
+
+// features computes the adaptive-clustering features (§5.3) for hour h.
+func (u *ueQuantities) features(h, days int) cluster.Features {
+	conn := u.at(h, Quantity{Kind: QStateSojourn, State: cp.StateConnected})
+	idle := u.at(h, Quantity{Kind: QStateSojourn, State: cp.StateIdle})
+	return cluster.Features{
+		cluster.FSrvReqCount: float64(u.counts[h][cp.ServiceRequest]) / float64(days),
+		cluster.FConnStd:     stats.StdDev(conn),
+		cluster.FS1RelCount:  float64(u.counts[h][cp.S1ConnRelease]) / float64(days),
+		cluster.FIdleStd:     stats.StdDev(idle),
+	}
+}
+
+// QuantitySamples pools one quantity's samples across all hours and all
+// UEs of a device type.
+func QuantitySamples(tr *trace.Trace, d cp.DeviceType, q Quantity) []float64 {
+	var out []float64
+	for ue, evs := range tr.PerUE() {
+		if tr.Device[ue] != d || len(evs) == 0 {
+			continue
+		}
+		u := collectUE(evs)
+		for h := 0; h < 24; h++ {
+			out = append(out, u.at(h, q)...)
+		}
+	}
+	return out
+}
+
+// collectUE walks one UE's time-ordered events and gathers every fitted
+// quantity: per-type inter-arrivals, macro-state sojourns (including the
+// REGISTERED macro state), and the two-level machine's bottom-transition
+// sojourns.
+func collectUE(evs []trace.Event) *ueQuantities {
+	u := &ueQuantities{samples: make(map[hourQuantity][]float64)}
+	if len(evs) == 0 {
+		return u
+	}
+	m := sm.LTE2Level()
+
+	// Inter-arrivals and counts. Following the paper's preprocessing,
+	// the trace is divided into non-overlapping 1-hour intervals first:
+	// an inter-arrival sample exists only when both endpoints fall in
+	// the same interval.
+	var lastOfType [cp.NumEventTypes]cp.Millis
+	var lastCellOfType [cp.NumEventTypes]int
+	var seen [cp.NumEventTypes]bool
+	for _, ev := range evs {
+		h := ev.T.HourOfDay()
+		cell := ev.T.HourIndex()
+		if ev.Type.Valid() {
+			u.counts[h][ev.Type]++
+			if seen[ev.Type] && lastCellOfType[ev.Type] == cell {
+				u.add(h, Quantity{Kind: QInterArrival, Event: ev.Type},
+					(ev.T - lastOfType[ev.Type]).Seconds())
+			}
+			lastOfType[ev.Type] = ev.T
+			lastCellOfType[ev.Type] = cell
+			seen[ev.Type] = true
+		}
+	}
+
+	// Macro-state and REGISTERED sojourns.
+	macro := sm.InferMacroInitial(evs)
+	registered := macro.Registered()
+	var macroAt, regAt cp.Millis
+	macroHas, regHas := false, false
+	for _, ev := range evs {
+		if !sm.Category1(ev.Type) {
+			continue
+		}
+		var next cp.UEState
+		switch ev.Type {
+		case cp.Attach, cp.ServiceRequest:
+			next = cp.StateConnected
+		case cp.Detach:
+			next = cp.StateDeregistered
+		case cp.S1ConnRelease:
+			next = cp.StateIdle
+		}
+		h := ev.T.HourOfDay()
+		if next != macro {
+			if macroHas {
+				u.add(h, Quantity{Kind: QStateSojourn, State: macro}, (ev.T - macroAt).Seconds())
+			}
+			macro = next
+			macroAt, macroHas = ev.T, true
+		}
+		if next.Registered() != registered {
+			if regHas && registered {
+				u.add(h, Quantity{Kind: QRegisteredSojourn}, (ev.T - regAt).Seconds())
+			}
+			registered = next.Registered()
+			regAt, regHas = ev.T, true
+		}
+	}
+
+	// Bottom-level transition sojourns on the two-level machine.
+	macro = sm.InferMacroInitial(evs)
+	bottom := m.SubEntry(macro)
+	var botAt cp.Millis
+	botHas := false
+	for _, ev := range evs {
+		if sm.Category1(ev.Type) {
+			var next cp.UEState
+			switch ev.Type {
+			case cp.Attach, cp.ServiceRequest:
+				next = cp.StateConnected
+			case cp.Detach:
+				next = cp.StateDeregistered
+			case cp.S1ConnRelease:
+				next = cp.StateIdle
+			}
+			if next != macro {
+				macro = next
+				bottom = m.SubEntry(macro)
+				botAt, botHas = ev.T, true
+				continue
+			}
+		}
+		if to, ok := m.Next(bottom, ev.Type); ok && m.Top(to) == macro {
+			if botHas {
+				u.add(ev.T.HourOfDay(),
+					Quantity{Kind: QTransSojourn, From: bottom, Event: ev.Type},
+					(ev.T - botAt).Seconds())
+			}
+			bottom = to
+			botAt, botHas = ev.T, true
+		}
+	}
+	return u
+}

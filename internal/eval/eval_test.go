@@ -1,0 +1,319 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"cptraffic/internal/cluster"
+	"cptraffic/internal/cp"
+	"cptraffic/internal/sm"
+	"cptraffic/internal/trace"
+	"cptraffic/internal/world"
+)
+
+func worldTrace(t *testing.T, n int, dur cp.Millis, seed uint64) *trace.Trace {
+	t.Helper()
+	tr, err := world.Generate(world.Options{NumUEs: n, Duration: dur, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestComputeBreakdownSharesSumToOne(t *testing.T) {
+	tr := worldTrace(t, 200, 4*cp.Hour, 1)
+	for _, d := range cp.DeviceTypes {
+		b := ComputeBreakdown(tr, d)
+		if b.Total == 0 {
+			t.Fatalf("%v: no events", d)
+		}
+		var sum float64
+		for _, k := range BreakdownKeys {
+			sum += b.Share[k]
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%v shares sum to %v", d, sum)
+		}
+		if b.Share["HO (IDLE)"] != 0 {
+			t.Fatalf("%v: world trace shows HO in IDLE", d)
+		}
+	}
+}
+
+func TestComputeBreakdownHandBuilt(t *testing.T) {
+	tr := trace.New()
+	tr.SetDevice(1, cp.Phone)
+	add := func(sec float64, e cp.EventType) {
+		tr.Append(trace.Event{T: cp.MillisFromSeconds(sec), UE: 1, Type: e})
+	}
+	add(0, cp.Attach)
+	add(1, cp.Handover) // CONNECTED
+	add(2, cp.S1ConnRelease)
+	add(3, cp.TrackingAreaUpdate) // IDLE
+	add(4, cp.S1ConnRelease)      // TAU release, IDLE
+	b := ComputeBreakdown(tr, cp.Phone)
+	if b.Total != 5 {
+		t.Fatalf("total = %d", b.Total)
+	}
+	if b.Share["HO (CONN.)"] != 0.2 || b.Share["TAU (IDLE)"] != 0.2 || b.Share["S1_CONN_REL"] != 0.4 {
+		t.Fatalf("shares = %v", b.Share)
+	}
+}
+
+func TestBreakdownDiffAndMaxAbs(t *testing.T) {
+	a := Breakdown{Share: map[string]float64{"ATCH": 0.1, "DTCH": 0.2}}
+	b := Breakdown{Share: map[string]float64{"ATCH": 0.15, "DTCH": 0.1}}
+	d := BreakdownDiff(a, b)
+	if math.Abs(d["ATCH"]-0.05) > 1e-12 || math.Abs(d["DTCH"]+0.1) > 1e-12 {
+		t.Fatalf("diff = %v", d)
+	}
+	if m := MaxAbsDiff(d); math.Abs(m-0.1) > 1e-12 {
+		t.Fatalf("max = %v", m)
+	}
+}
+
+func TestSimpleBreakdown(t *testing.T) {
+	tr := worldTrace(t, 150, 2*cp.Hour, 2)
+	shares, total := SimpleBreakdown(tr, cp.Phone)
+	if total == 0 {
+		t.Fatal("no events")
+	}
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v", sum)
+	}
+	if _, total := SimpleBreakdown(trace.New(), cp.Phone); total != 0 {
+		t.Fatal("empty trace nonzero")
+	}
+}
+
+func TestHourCountsAndBoxStats(t *testing.T) {
+	tr := worldTrace(t, 200, cp.Day, 3)
+	hc := HourCounts(tr, cp.Phone, cp.ServiceRequest, 1)
+	nPhones := len(tr.UEsOfType(cp.Phone))
+	for h := range hc {
+		if len(hc[h]) != nPhones {
+			t.Fatalf("hour %d has %d UEs, want %d", h, len(hc[h]), nPhones)
+		}
+	}
+	// Daytime busier than pre-dawn.
+	day := ComputeBoxStats(hc[18])
+	night := ComputeBoxStats(hc[3])
+	if day.Mean <= night.Mean {
+		t.Fatalf("day mean %v <= night mean %v", day.Mean, night.Mean)
+	}
+	// Box stats sanity on a known sample.
+	bs := ComputeBoxStats([]float64{1, 2, 3, 4, 5})
+	if bs.Min != 1 || bs.Max != 5 || bs.Median != 3 || bs.Mean != 3 || bs.Q1 != 2 || bs.Q3 != 4 {
+		t.Fatalf("box = %+v", bs)
+	}
+	if (ComputeBoxStats(nil) != BoxStats{}) {
+		t.Fatal("empty box stats not zero")
+	}
+}
+
+func TestEventsPerUEIncludesSilent(t *testing.T) {
+	tr := trace.New()
+	tr.SetDevice(1, cp.Phone)
+	tr.SetDevice(2, cp.Phone)
+	tr.Append(trace.Event{T: 1, UE: 1, Type: cp.ServiceRequest})
+	counts := EventsPerUE(tr, cp.Phone, cp.ServiceRequest)
+	if len(counts) != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	sum := counts[0] + counts[1]
+	if sum != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestStateSojourns(t *testing.T) {
+	tr := trace.New()
+	tr.SetDevice(1, cp.Phone)
+	add := func(sec float64, e cp.EventType) {
+		tr.Append(trace.Event{T: cp.MillisFromSeconds(sec), UE: 1, Type: e})
+	}
+	add(0, cp.Attach)
+	add(10, cp.S1ConnRelease)
+	add(40, cp.ServiceRequest)
+	so := StateSojourns(tr, cp.Phone, cp.StateConnected)
+	if len(so) != 1 || so[0] != 10 {
+		t.Fatalf("connected = %v", so)
+	}
+	so = StateSojourns(tr, cp.Phone, cp.StateIdle)
+	if len(so) != 1 || so[0] != 30 {
+		t.Fatalf("idle = %v", so)
+	}
+}
+
+func TestComputeMicroDistancesSelfIsSmall(t *testing.T) {
+	tr := worldTrace(t, 300, 3*cp.Hour, 4)
+	d := ComputeMicroDistances(tr, tr, cp.Phone)
+	if d.SrvReqPerUE != 0 || d.Connected != 0 {
+		t.Fatalf("self-distance = %+v", d)
+	}
+	other := worldTrace(t, 300, 3*cp.Hour, 5)
+	d2 := ComputeMicroDistances(tr, other, cp.Phone)
+	// Two draws from the same world should be close but nonzero.
+	if d2.SrvReqPerUE <= 0 || d2.SrvReqPerUE > 0.2 {
+		t.Fatalf("cross-seed SRV_REQ distance = %v", d2.SrvReqPerUE)
+	}
+}
+
+func TestActivitySplit(t *testing.T) {
+	tr := worldTrace(t, 300, 2*cp.Hour, 6)
+	in, act := ActivitySplit(tr, tr, cp.ConnectedCar, cp.ServiceRequest)
+	if in != 0 || act != 0 {
+		t.Fatalf("self split = %v, %v", in, act)
+	}
+}
+
+func TestComputeCDF(t *testing.T) {
+	c := ComputeCDF([]float64{1, 1, 2, 3})
+	if len(c.X) != 3 || c.X[0] != 1 || c.F[0] != 0.5 || c.F[2] != 1 {
+		t.Fatalf("cdf = %+v", c)
+	}
+	if got := ComputeCDF(nil); len(got.X) != 0 {
+		t.Fatal("empty CDF not empty")
+	}
+}
+
+func TestQuantityStrings(t *testing.T) {
+	qs := append(Table8Quantities(), Table10Quantities()...)
+	seen := map[string]bool{}
+	for _, q := range qs {
+		s := q.String()
+		if s == "?" || s == "" {
+			t.Fatalf("bad name for %+v", q)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+	if len(Table8Quantities()) != 10 {
+		t.Fatalf("table 8 has %d quantities", len(Table8Quantities()))
+	}
+	if len(Table10Quantities()) != 9 {
+		t.Fatalf("table 10 has %d quantities", len(Table10Quantities()))
+	}
+}
+
+func TestCollectUEQuantities(t *testing.T) {
+	evs := []trace.Event{
+		{T: cp.MillisFromSeconds(0), UE: 1, Type: cp.Attach},
+		{T: cp.MillisFromSeconds(5), UE: 1, Type: cp.Handover},
+		{T: cp.MillisFromSeconds(8), UE: 1, Type: cp.Handover},
+		{T: cp.MillisFromSeconds(20), UE: 1, Type: cp.S1ConnRelease},
+		{T: cp.MillisFromSeconds(80), UE: 1, Type: cp.ServiceRequest},
+		{T: cp.MillisFromSeconds(90), UE: 1, Type: cp.Detach},
+	}
+	u := collectUE(evs)
+	// HO inter-arrival: 3 s.
+	ho := u.at(0, Quantity{Kind: QInterArrival, Event: cp.Handover})
+	if len(ho) != 1 || ho[0] != 3 {
+		t.Fatalf("HO inter-arrival = %v", ho)
+	}
+	// CONNECTED sojourn 20 s; IDLE 60 s.
+	conn := u.at(0, Quantity{Kind: QStateSojourn, State: cp.StateConnected})
+	if len(conn) != 2 || conn[0] != 20 || conn[1] != 10 {
+		t.Fatalf("connected = %v", conn)
+	}
+	idle := u.at(0, Quantity{Kind: QStateSojourn, State: cp.StateIdle})
+	if len(idle) != 1 || idle[0] != 60 {
+		t.Fatalf("idle = %v", idle)
+	}
+	// REGISTERED sojourn: 0 -> 90.
+	reg := u.at(0, Quantity{Kind: QRegisteredSojourn})
+	if len(reg) != 1 || reg[0] != 90 {
+		t.Fatalf("registered = %v", reg)
+	}
+	// Bottom: SRV_REQ_S -HO (5 s), HO_S -HO (3 s).
+	b1 := u.at(0, Quantity{Kind: QTransSojourn, From: sm.LTESrvReqS, Event: cp.Handover})
+	if len(b1) != 1 || b1[0] != 5 {
+		t.Fatalf("SRV_REQ_S-HO = %v", b1)
+	}
+	b2 := u.at(0, Quantity{Kind: QTransSojourn, From: sm.LTEHoS, Event: cp.Handover})
+	if len(b2) != 1 || b2[0] != 3 {
+		t.Fatalf("HO_S-HO = %v", b2)
+	}
+	// Features: one SRV_REQ in hour 0.
+	f := u.features(0, 1)
+	if f[cluster.FSrvReqCount] != 1 || f[cluster.FS1RelCount] != 1 {
+		t.Fatalf("features = %v", f)
+	}
+}
+
+func TestPassRatesRejectPoissonOnWorldTraffic(t *testing.T) {
+	// The paper's core negative result: classic distributions fail.
+	// A full day is needed so every device type has busy hours — K-S
+	// has no power against near-empty night-time samples.
+	tr := worldTrace(t, 400, cp.Day, 7)
+	rates := PassRates(tr, Table8Quantities(), FitTestOptions{MinSamples: 30})
+	srv := Quantity{Kind: QInterArrival, Event: cp.ServiceRequest}
+	idle := Quantity{Kind: QStateSojourn, State: cp.StateIdle}
+	for _, d := range []cp.DeviceType{cp.Phone, cp.ConnectedCar} {
+		if r := rates[PoissonKS][d][srv]; !(math.IsNaN(r)) && r > 0.10 {
+			t.Errorf("%v: Poisson K-S pass rate for SRV_REQ = %.2f, want near 0", d, r)
+		}
+		// IDLE sojourns get a looser bound: at test scale the quiet
+		// night hours pool few visits and K-S loses power there.
+		if r := rates[PoissonKS][d][idle]; !(math.IsNaN(r)) && r > 0.30 {
+			t.Errorf("%v: Poisson K-S pass rate for IDLE = %.2f, want near 0", d, r)
+		}
+		if r := rates[TcplibKS][d][srv]; !(math.IsNaN(r)) && r > 0.10 {
+			t.Errorf("%v: Tcplib pass rate = %.2f, want near 0", d, r)
+		}
+	}
+}
+
+func TestPassRatesClusteredRuns(t *testing.T) {
+	tr := worldTrace(t, 300, 3*cp.Hour, 8)
+	rates := PassRates(tr, []Quantity{{Kind: QInterArrival, Event: cp.ServiceRequest}},
+		FitTestOptions{Clustered: true, Cluster: cluster.Options{ThetaN: 30}})
+	r := rates[PoissonKS][cp.Phone][Quantity{Kind: QInterArrival, Event: cp.ServiceRequest}]
+	if math.IsNaN(r) {
+		t.Fatal("no tested units with clustering")
+	}
+	if r < 0 || r > 1 {
+		t.Fatalf("rate = %v", r)
+	}
+}
+
+func TestVarianceTimeForBurstierThanPoisson(t *testing.T) {
+	tr := worldTrace(t, 400, 12*cp.Hour, 9)
+	phones := UESet(tr.UEsOfType(cp.Phone))
+	vt := VarianceTimeFor(tr, phones, Quantity{Kind: QStateSojourn, State: cp.StateIdle}, 12*cp.Hour)
+	if math.IsNaN(vt.LogGap) {
+		t.Fatal("no variance-time data")
+	}
+	if vt.LogGap < 0.15 {
+		t.Fatalf("IDLE completions log gap = %.3f, want clearly above Poisson", vt.LogGap)
+	}
+	if math.IsNaN(vt.Hurst) || vt.Hurst < 0.55 {
+		t.Fatalf("IDLE completions Hurst = %.3f, want > 0.55 (long-range dependent)", vt.Hurst)
+	}
+}
+
+func TestCDFvsPoissonRanges(t *testing.T) {
+	tr := worldTrace(t, 300, 6*cp.Hour, 10)
+	so := StateSojourns(tr, cp.Phone, cp.StateConnected)
+	cmpResult, err := CDFvsPoisson(so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Fig. 4 finding: the observed maximum far exceeds what
+	// an exponential fit of the same sample size would produce.
+	if cmpResult.MaxObs <= cmpResult.MaxFit {
+		t.Fatalf("observed max %v should exceed fitted max %v", cmpResult.MaxObs, cmpResult.MaxFit)
+	}
+	if len(cmpResult.Sample.X) == 0 || len(cmpResult.Fitted.X) != len(cmpResult.Sample.X) {
+		t.Fatal("series malformed")
+	}
+	if _, err := CDFvsPoisson(nil); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"cptraffic/internal/core"
+	"cptraffic/internal/cp"
+	"cptraffic/internal/report"
+	"cptraffic/internal/trace"
+	"cptraffic/internal/world"
+)
+
+// DiurnalFidelity validates what the paper's one-hour scenarios do not:
+// the generator driven over a whole day, hour after hour (§7's "runs the
+// per-hour two-level state machine one after another"), must reproduce
+// the diurnal load curve. It synthesizes 24 hours from hour 0, compares
+// hourly event volumes against a held-out world day, and reports the
+// Pearson correlation of the two curves plus the per-hour relative
+// errors.
+func DiurnalFidelity(l *Lab, w io.Writer) error {
+	models, err := l.Models()
+	if err != nil {
+		return err
+	}
+	ms := models["ours"]
+	n := l.Cfg.Scenario1UEs
+	gen, err := core.Generate(ms, core.GenOptions{
+		NumUEs:    n,
+		StartHour: 0,
+		Duration:  cp.Day,
+		Seed:      l.Cfg.Seed + 1313,
+	})
+	if err != nil {
+		return err
+	}
+	real, err := world.Generate(world.Options{
+		NumUEs:   n,
+		Duration: cp.Day,
+		Seed:     l.Cfg.Seed + 1414,
+	})
+	if err != nil {
+		return err
+	}
+
+	realHourly := hourlyVolumes(real)
+	genHourly := hourlyVolumes(gen)
+	corr := pearson(realHourly[:], genHourly[:])
+
+	tbl := report.Table{
+		Title:  fmt.Sprintf("Diurnal fidelity — 24h generation from hour 0, %d UEs (hourly volume correlation %.3f)", n, corr),
+		Header: []string{"Hour", "Real", "Generated", "Rel. error"},
+	}
+	for h := 0; h < 24; h++ {
+		relErr := math.NaN()
+		if realHourly[h] > 0 {
+			relErr = (genHourly[h] - realHourly[h]) / realHourly[h]
+		}
+		tbl.AddRow(fmt.Sprintf("%02d", h),
+			fmt.Sprintf("%.0f", realHourly[h]),
+			fmt.Sprintf("%.0f", genHourly[h]),
+			report.SignedPct(relErr))
+	}
+	return tbl.Render(w)
+}
+
+// DiurnalCorrelation returns just the hourly-volume correlation for
+// programmatic checks.
+func DiurnalCorrelation(l *Lab) (float64, error) {
+	models, err := l.Models()
+	if err != nil {
+		return 0, err
+	}
+	ms := models["ours"]
+	n := l.Cfg.Scenario1UEs
+	gen, err := core.Generate(ms, core.GenOptions{
+		NumUEs: n, StartHour: 0, Duration: cp.Day, Seed: l.Cfg.Seed + 1313,
+	})
+	if err != nil {
+		return 0, err
+	}
+	real, err := world.Generate(world.Options{NumUEs: n, Duration: cp.Day, Seed: l.Cfg.Seed + 1414})
+	if err != nil {
+		return 0, err
+	}
+	r := hourlyVolumes(real)
+	g := hourlyVolumes(gen)
+	return pearson(r[:], g[:]), nil
+}
+
+// hourlyVolumes tallies a trace's events per hour-of-day.
+func hourlyVolumes(tr *trace.Trace) [24]float64 {
+	var out [24]float64
+	for _, e := range tr.Events {
+		out[e.T.HourOfDay()]++
+	}
+	return out
+}
+
+// pearson computes the correlation coefficient of two equal-length
+// series.
+func pearson(a, b []float64) float64 {
+	n := len(a)
+	if n == 0 || n != len(b) {
+		return math.NaN()
+	}
+	var ma, mb float64
+	for i := 0; i < n; i++ {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= float64(n)
+	mb /= float64(n)
+	var saa, sbb, sab float64
+	for i := 0; i < n; i++ {
+		da, db := a[i]-ma, b[i]-mb
+		saa += da * da
+		sbb += db * db
+		sab += da * db
+	}
+	if saa == 0 || sbb == 0 {
+		return math.NaN()
+	}
+	return sab / math.Sqrt(saa*sbb)
+}

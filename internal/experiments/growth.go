@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cptraffic/internal/core"
+	"cptraffic/internal/cp"
+	"cptraffic/internal/mcn"
+	"cptraffic/internal/report"
+)
+
+// GrowthProjection runs the §3.1 "large-scale simulations for NextG"
+// use case end to end: the fitted model synthesizes busy-hour traffic
+// for growing populations with a device mix shifting toward connected
+// devices (the industry projection the paper cites), and the core
+// dimensioning model reports the capacity each network function needs
+// to keep p99 queueing delay under 50 ms.
+func GrowthProjection(l *Lab, w io.Writer) error {
+	models, err := l.Models()
+	if err != nil {
+		return err
+	}
+	ms := models["ours"]
+	base := l.Cfg.Scenario1UEs
+	tbl := report.Table{
+		Title:  "Growth projection — busy-hour capacity (tx/s for p99 <= 50 ms) as the population grows and shifts toward connected devices",
+		Header: []string{"Scale", "UEs", "Car share", "Events", "MME", "HSS", "SGW", "PGW", "PCRF"},
+	}
+	type step struct {
+		scale    int
+		carShare float64
+	}
+	for _, st := range []step{{1, 0.25}, {2, 0.35}, {5, 0.45}} {
+		mix := []float64{1 - st.carShare - 0.12, st.carShare, 0.12}
+		tr, err := core.Generate(ms, core.GenOptions{
+			NumUEs:    base * st.scale,
+			StartHour: l.Cfg.BusyHour,
+			Duration:  cp.Hour,
+			Seed:      l.Cfg.Seed + 888 + uint64(st.scale),
+			DeviceMix: mix,
+		})
+		if err != nil {
+			return err
+		}
+		cap, err := mcn.SuggestCapacity(tr, 0.050)
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%dx", st.scale),
+			fmt.Sprintf("%d", base*st.scale),
+			report.Pct(st.carShare),
+			fmt.Sprintf("%d", tr.Len()),
+			fmt.Sprintf("%.0f", cap[mcn.NFMME]),
+			fmt.Sprintf("%.0f", cap[mcn.NFHSS]),
+			fmt.Sprintf("%.0f", cap[mcn.NFSGW]),
+			fmt.Sprintf("%.0f", cap[mcn.NFPGW]),
+			fmt.Sprintf("%.0f", cap[mcn.NFPCRF]))
+	}
+	return tbl.Render(w)
+}

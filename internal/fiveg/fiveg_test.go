@@ -1,0 +1,227 @@
+package fiveg
+
+import (
+	"math"
+	"testing"
+
+	"cptraffic/internal/cluster"
+	"cptraffic/internal/core"
+	"cptraffic/internal/cp"
+	"cptraffic/internal/sm"
+	"cptraffic/internal/world"
+)
+
+func lteModel(t *testing.T) *core.ModelSet {
+	t.Helper()
+	tr, err := world.Generate(world.Options{NumUEs: 400, Duration: cp.Day, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := core.Fit(tr, core.FitOptions{Cluster: cluster.Options{ThetaN: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+func share(tr interface {
+	CountByType() [cp.NumEventTypes]int
+	Len() int
+}, e cp.EventType) float64 {
+	if tr.Len() == 0 {
+		return 0
+	}
+	return float64(tr.CountByType()[e]) / float64(tr.Len())
+}
+
+func TestToNSAIncreasesHandovers(t *testing.T) {
+	lte := lteModel(t)
+	nsa, err := ToNSA(lte, NSAHandoverFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nsa.MachineName != sm.LTE2Level().Name {
+		t.Fatalf("NSA machine = %s", nsa.MachineName)
+	}
+	genOpt := core.GenOptions{NumUEs: 500, StartHour: 8, Duration: 2 * cp.Hour, Seed: 1}
+	lteTr, err := core.Generate(lte, genOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsaTr, err := core.Generate(nsa, genOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lteHO := share(lteTr, cp.Handover)
+	nsaHO := share(nsaTr, cp.Handover)
+	if lteHO <= 0 {
+		t.Fatal("LTE generated no HO")
+	}
+	ratio := nsaHO / lteHO
+	// The paper's Table 7 projects phones 3.8% -> 15.4%, a ~4x share
+	// increase for a 4.6x frequency scaling.
+	if ratio < 2 || ratio > 8 {
+		t.Fatalf("HO share ratio NSA/LTE = %.2f (LTE %.4f, NSA %.4f)", ratio, lteHO, nsaHO)
+	}
+	// NSA keeps TAU (it runs on the LTE core).
+	if share(nsaTr, cp.TrackingAreaUpdate) == 0 {
+		t.Fatal("NSA lost TAU")
+	}
+}
+
+func TestToSARemovesTAU(t *testing.T) {
+	lte := lteModel(t)
+	sa, err := ToSA(lte, SAHandoverFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.MachineName != sm.FiveGSA().Name {
+		t.Fatalf("SA machine = %s", sa.MachineName)
+	}
+	saTr, err := core.Generate(sa, core.GenOptions{NumUEs: 500, StartHour: 3, Duration: 2 * cp.Hour, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saTr.Len() == 0 {
+		t.Fatal("SA generated nothing")
+	}
+	if c := saTr.CountByType(); c[cp.TrackingAreaUpdate] != 0 {
+		t.Fatalf("SA generated %d TAU events", c[cp.TrackingAreaUpdate])
+	}
+	if share(saTr, cp.Handover) == 0 {
+		t.Fatal("SA generated no HO")
+	}
+}
+
+func TestNSAvsSAHandoverOrdering(t *testing.T) {
+	// Paper Table 7: NSA has more HO than SA (4.6x vs 3.0x scaling, and
+	// NSA hands over on both RANs).
+	lte := lteModel(t)
+	nsa, err := ToNSA(lte, NSAHandoverFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := ToSA(lte, SAHandoverFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genOpt := core.GenOptions{NumUEs: 600, StartHour: 8, Duration: 2 * cp.Hour, Seed: 3}
+	nsaTr, err := core.Generate(nsa, genOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saTr, err := core.Generate(sa, genOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share(nsaTr, cp.Handover) <= share(saTr, cp.Handover) {
+		t.Fatalf("HO share NSA (%.4f) should exceed SA (%.4f)",
+			share(nsaTr, cp.Handover), share(saTr, cp.Handover))
+	}
+}
+
+func TestSAGeneratedTraceConformsToSAMachine(t *testing.T) {
+	lte := lteModel(t)
+	sa, err := ToSA(lte, SAHandoverFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saTr, err := core.Generate(sa, core.GenOptions{NumUEs: 300, Duration: 2 * cp.Hour, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sm.FiveGSA()
+	violations := 0
+	for _, evs := range saTr.PerUE() {
+		if len(evs) == 0 {
+			continue
+		}
+		violations += sm.Replay(m, sm.InferInitial(m, evs), evs).Violations
+	}
+	if violations != 0 {
+		t.Fatalf("SA trace has %d violations against the SA machine", violations)
+	}
+}
+
+func TestAdaptationRejectsWrongMachine(t *testing.T) {
+	bad := &core.ModelSet{MachineName: "EMM-ECM"}
+	if _, err := ToNSA(bad, 4.6); err == nil {
+		t.Fatal("NSA accepted EMM-ECM model")
+	}
+	if _, err := ToSA(bad, 3.0); err == nil {
+		t.Fatal("SA accepted EMM-ECM model")
+	}
+}
+
+func TestScaleSojourn(t *testing.T) {
+	table := core.SojournModel{Kind: core.SojournTable, Q: []float64{1, 2, 4}}
+	got := scaleSojourn(table, 0.5)
+	if got.Q[0] != 0.5 || got.Q[2] != 2 {
+		t.Fatalf("scaled table = %v", got.Q)
+	}
+	exp := core.SojournModel{Kind: core.SojournExp, Lambda: 2}
+	if got := scaleSojourn(exp, 0.5); math.Abs(got.Lambda-4) > 1e-12 {
+		t.Fatalf("scaled exp lambda = %v", got.Lambda)
+	}
+	c := core.SojournModel{Kind: core.SojournConst, Value: 10}
+	if got := scaleSojourn(c, 0.1); got.Value != 1 {
+		t.Fatalf("scaled const = %v", got.Value)
+	}
+}
+
+func TestScaleStateConservation(t *testing.T) {
+	sp := core.StateParam{
+		Out: []core.TransitionParam{
+			{Event: cp.Handover, P: 0.4, Sojourn: core.SojournModel{Kind: core.SojournConst, Value: 10}},
+			{Event: cp.TrackingAreaUpdate, P: 0.6, Sojourn: core.SojournModel{Kind: core.SojournConst, Value: 20}},
+		},
+		PExit: 0.5,
+	}
+	scaleState(&sp, cp.Handover, 2)
+	var sum float64
+	for _, tp := range sp.Out {
+		sum += tp.P
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	// HO weight doubled: 0.4*2=0.8 vs 0.6 -> p(HO) = 0.8/1.4.
+	if math.Abs(sp.Out[0].P-0.8/1.4) > 1e-12 {
+		t.Fatalf("p(HO) = %v", sp.Out[0].P)
+	}
+	// Firing weight grew from 0.5 to 0.7 absolute; PExit = 0.5/1.2.
+	if math.Abs(sp.PExit-0.5/1.2) > 1e-12 {
+		t.Fatalf("PExit = %v", sp.PExit)
+	}
+	// HO delay halved.
+	if sp.Out[0].Sojourn.Value != 5 {
+		t.Fatalf("HO sojourn = %v", sp.Out[0].Sojourn.Value)
+	}
+}
+
+func TestDropFromState(t *testing.T) {
+	sp := core.StateParam{
+		Out: []core.TransitionParam{
+			{Event: cp.Handover, P: 0.25, Sojourn: core.SojournModel{Kind: core.SojournConst, Value: 1}},
+			{Event: cp.TrackingAreaUpdate, P: 0.75, Sojourn: core.SojournModel{Kind: core.SojournConst, Value: 1}},
+		},
+		PExit: 0.2,
+	}
+	dropFromState(&sp, cp.TrackingAreaUpdate)
+	if len(sp.Out) != 1 || sp.Out[0].Event != cp.Handover {
+		t.Fatalf("out = %+v", sp.Out)
+	}
+	if math.Abs(sp.Out[0].P-1) > 1e-12 {
+		t.Fatalf("p = %v", sp.Out[0].P)
+	}
+	// Dropped mass moves to the tail: 0.2 + 0.8*0.75 = 0.8.
+	if math.Abs(sp.PExit-0.8) > 1e-12 {
+		t.Fatalf("PExit = %v", sp.PExit)
+	}
+	// Dropping the only transition clears the state.
+	sp2 := core.StateParam{Out: []core.TransitionParam{{Event: cp.TrackingAreaUpdate, P: 1}}}
+	dropFromState(&sp2, cp.TrackingAreaUpdate)
+	if sp2.Out != nil || sp2.PExit != 0 {
+		t.Fatalf("sp2 = %+v", sp2)
+	}
+}

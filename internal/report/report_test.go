@@ -1,0 +1,53 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{Title: "T", Header: []string{"a", "long-header"}}
+	tbl.AddRow("x")
+	tbl.AddRow("yyyy", "z")
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "T" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a     long-header") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Fatalf("separator = %q", lines[2])
+	}
+	// Padded short row.
+	if !strings.HasPrefix(lines[3], "x   ") {
+		t.Fatalf("row = %q", lines[3])
+	}
+}
+
+func TestPctFormats(t *testing.T) {
+	if Pct(0.123) != "12.3%" {
+		t.Fatalf("Pct = %q", Pct(0.123))
+	}
+	if SignedPct(0.05) != "+5.0%" || SignedPct(-0.05) != "-5.0%" {
+		t.Fatalf("SignedPct = %q / %q", SignedPct(0.05), SignedPct(-0.05))
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var buf bytes.Buffer
+	err := Series(&buf, []string{"x", "y"}, []float64{1, 2, 3}, []float64{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,4\n2,5\n3,\n"
+	if buf.String() != want {
+		t.Fatalf("got %q, want %q", buf.String(), want)
+	}
+}

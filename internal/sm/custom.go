@@ -1,0 +1,141 @@
+package sm
+
+import (
+	"fmt"
+
+	"cptraffic/internal/cp"
+)
+
+// Spec declares a custom machine for NewMachine. Beyond the three
+// built-in machines (LTE two-level, EMM-ECM, 5G SA), downstream users
+// can define their own hierarchies — e.g. a 6G draft protocol or a
+// vendor extension — and fit/generate against them with the same
+// pipeline, since core only interacts with machines through this
+// package's interface.
+type Spec struct {
+	// Name identifies the machine; it must not collide with the
+	// built-in names, which core resolves specially.
+	Name string
+	// States lists the fine-grained states; indices become State values.
+	States []StateInfo
+	// Edges[s] lists state s's outgoing labeled transitions.
+	Edges [][]Edge
+	// Initial is the power-off state.
+	Initial State
+	// Forced maps each event type to its canonical post-state (used to
+	// resynchronize replays after protocol violations).
+	Forced map[cp.EventType]State
+	// SubEntry maps each macro state to the fine state entered when the
+	// top level switches into it.
+	SubEntry map[cp.UEState]State
+}
+
+// reservedNames are the built-in machine names core resolves by name.
+var reservedNames = map[string]bool{
+	"LTE-2LEVEL": true,
+	"EMM-ECM":    true,
+	"5G-SA":      true,
+}
+
+// NewMachine validates a Spec and builds a Machine from it. It enforces
+// the invariants the fitting pipeline and generator rely on:
+// determinism (one successor per (state, event)), a valid initial state,
+// complete forced and sub-entry maps, and reachability of every state
+// from Initial.
+func NewMachine(spec Spec) (*Machine, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("sm: machine needs a name")
+	}
+	if reservedNames[spec.Name] {
+		return nil, fmt.Errorf("sm: machine name %q is reserved for a built-in", spec.Name)
+	}
+	if len(spec.States) == 0 {
+		return nil, fmt.Errorf("sm: machine needs at least one state")
+	}
+	if len(spec.Edges) != len(spec.States) {
+		return nil, fmt.Errorf("sm: %d edge lists for %d states", len(spec.Edges), len(spec.States))
+	}
+	if int(spec.Initial) >= len(spec.States) {
+		return nil, fmt.Errorf("sm: initial state %d out of range", spec.Initial)
+	}
+	seenName := map[string]bool{}
+	for i, si := range spec.States {
+		if si.Name == "" {
+			return nil, fmt.Errorf("sm: state %d has no name", i)
+		}
+		if seenName[si.Name] {
+			return nil, fmt.Errorf("sm: duplicate state name %q", si.Name)
+		}
+		seenName[si.Name] = true
+		if !si.Top.Registered() && si.Top != cp.StateDeregistered {
+			return nil, fmt.Errorf("sm: state %q has invalid macro state %d", si.Name, si.Top)
+		}
+	}
+	m := &Machine{
+		Name:    spec.Name,
+		States:  append([]StateInfo(nil), spec.States...),
+		Edges:   make([][]Edge, len(spec.States)),
+		Initial: spec.Initial,
+	}
+	for s, edges := range spec.Edges {
+		seen := map[cp.EventType]bool{}
+		for _, e := range edges {
+			if !e.Event.Valid() {
+				return nil, fmt.Errorf("sm: state %q has edge with invalid event %d",
+					spec.States[s].Name, e.Event)
+			}
+			if int(e.To) >= len(spec.States) {
+				return nil, fmt.Errorf("sm: state %q has edge to out-of-range state %d",
+					spec.States[s].Name, e.To)
+			}
+			if seen[e.Event] {
+				return nil, fmt.Errorf("sm: state %q has two edges on %v (machines must be deterministic)",
+					spec.States[s].Name, e.Event)
+			}
+			seen[e.Event] = true
+		}
+		m.Edges[s] = append([]Edge(nil), edges...)
+	}
+	for _, e := range cp.EventTypes {
+		st, ok := spec.Forced[e]
+		if !ok {
+			return nil, fmt.Errorf("sm: Forced map missing event %v", e)
+		}
+		if int(st) >= len(spec.States) {
+			return nil, fmt.Errorf("sm: Forced[%v] out of range", e)
+		}
+		m.forced[e] = st
+	}
+	for _, top := range []cp.UEState{cp.StateDeregistered, cp.StateConnected, cp.StateIdle} {
+		st, ok := spec.SubEntry[top]
+		if !ok {
+			return nil, fmt.Errorf("sm: SubEntry map missing macro state %v", top)
+		}
+		if int(st) >= len(spec.States) {
+			return nil, fmt.Errorf("sm: SubEntry[%v] out of range", top)
+		}
+		if m.Top(st) != top {
+			return nil, fmt.Errorf("sm: SubEntry[%v] = %q is not in that macro state", top, spec.States[st].Name)
+		}
+		m.subEntry[top] = st
+	}
+	// Reachability from Initial.
+	reach := map[State]bool{m.Initial: true}
+	frontier := []State{m.Initial}
+	for len(frontier) > 0 {
+		s := frontier[0]
+		frontier = frontier[1:]
+		for _, e := range m.Edges[s] {
+			if !reach[e.To] {
+				reach[e.To] = true
+				frontier = append(frontier, e.To)
+			}
+		}
+	}
+	for s := range m.States {
+		if !reach[State(s)] {
+			return nil, fmt.Errorf("sm: state %q unreachable from the initial state", m.States[s].Name)
+		}
+	}
+	return m, nil
+}

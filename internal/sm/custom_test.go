@@ -1,0 +1,112 @@
+package sm
+
+import (
+	"strings"
+	"testing"
+
+	"cptraffic/internal/cp"
+)
+
+// validSpec returns a minimal well-formed custom machine: DEREG, CONN,
+// IDLE with the standard Category-1 edges.
+func validSpec() Spec {
+	return Spec{
+		Name: "TEST-FLAT",
+		States: []StateInfo{
+			{"OFF", cp.StateDeregistered},
+			{"ON", cp.StateConnected},
+			{"REST", cp.StateIdle},
+		},
+		Edges: [][]Edge{
+			{{cp.Attach, 1}},
+			{{cp.S1ConnRelease, 2}, {cp.Detach, 0}},
+			{{cp.ServiceRequest, 1}, {cp.Detach, 0}},
+		},
+		Initial: 0,
+		Forced: map[cp.EventType]State{
+			cp.Attach: 1, cp.Detach: 0, cp.ServiceRequest: 1,
+			cp.S1ConnRelease: 2, cp.Handover: 1, cp.TrackingAreaUpdate: 1,
+		},
+		SubEntry: map[cp.UEState]State{
+			cp.StateDeregistered: 0, cp.StateConnected: 1, cp.StateIdle: 2,
+		},
+	}
+}
+
+func TestNewMachineValid(t *testing.T) {
+	m, err := NewMachine(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != 3 {
+		t.Fatalf("NumStates = %d", m.NumStates())
+	}
+	if to, ok := m.Next(0, cp.Attach); !ok || to != 1 {
+		t.Fatal("edge lookup broken")
+	}
+	if m.SubEntry(cp.StateIdle) != 2 || m.Forced(cp.Handover) != 1 {
+		t.Fatal("maps broken")
+	}
+	// The custom machine works with the replay machinery.
+	res := Replay(m, m.Initial, evs(0.0, cp.Attach, 5.0, cp.S1ConnRelease))
+	if res.Violations != 0 || res.Final != 2 {
+		t.Fatalf("replay = %+v", res)
+	}
+}
+
+func TestNewMachineRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }, "needs a name"},
+		{"reserved", func(s *Spec) { s.Name = "LTE-2LEVEL" }, "reserved"},
+		{"no states", func(s *Spec) { s.States = nil; s.Edges = nil }, "at least one state"},
+		{"edges mismatch", func(s *Spec) { s.Edges = s.Edges[:2] }, "edge lists"},
+		{"initial range", func(s *Spec) { s.Initial = 9 }, "initial state"},
+		{"unnamed state", func(s *Spec) { s.States[1].Name = "" }, "no name"},
+		{"dup state name", func(s *Spec) { s.States[1].Name = "OFF" }, "duplicate"},
+		{"bad event", func(s *Spec) { s.Edges[0] = append(s.Edges[0], Edge{cp.EventType(99), 1}) }, "invalid event"},
+		{"edge range", func(s *Spec) { s.Edges[0] = append(s.Edges[0], Edge{cp.Detach, 9}) }, "out-of-range"},
+		{"nondeterministic", func(s *Spec) { s.Edges[0] = append(s.Edges[0], Edge{cp.Attach, 2}) }, "deterministic"},
+		{"forced missing", func(s *Spec) { delete(s.Forced, cp.Handover) }, "Forced map missing"},
+		{"forced range", func(s *Spec) { s.Forced[cp.Handover] = 9 }, "out of range"},
+		{"subentry missing", func(s *Spec) { delete(s.SubEntry, cp.StateIdle) }, "SubEntry map missing"},
+		{"subentry range", func(s *Spec) { s.SubEntry[cp.StateIdle] = 9 }, "out of range"},
+		{"subentry wrong macro", func(s *Spec) { s.SubEntry[cp.StateIdle] = 1 }, "not in that macro state"},
+		{"unreachable", func(s *Spec) {
+			s.States = append(s.States, StateInfo{"ORPHAN", cp.StateIdle})
+			s.Edges = append(s.Edges, []Edge{{cp.Detach, 0}})
+		}, "unreachable"},
+	}
+	for _, c := range cases {
+		spec := validSpec()
+		c.mutate(&spec)
+		_, err := NewMachine(spec)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestNewMachineIndependentOfSpec(t *testing.T) {
+	spec := validSpec()
+	m, err := NewMachine(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the spec after construction must not affect the machine.
+	spec.States[0].Name = "MUTATED"
+	spec.Edges[0][0].To = 2
+	if m.StateName(0) != "OFF" {
+		t.Fatal("machine shares the spec's state slice")
+	}
+	if to, _ := m.Next(0, cp.Attach); to != 1 {
+		t.Fatal("machine shares the spec's edge slices")
+	}
+}

@@ -1,0 +1,52 @@
+package sm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cptraffic/internal/cp"
+)
+
+// DOT renders the machine in Graphviz dot syntax, grouping fine states
+// into clusters by macro state — a faithful rendering of the paper's
+// Fig. 5 / Fig. 6 layout. Useful for documentation and for eyeballing
+// machine edits.
+func (m *Machine) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", m.Name)
+	b.WriteString("  rankdir=TB;\n  node [shape=ellipse];\n")
+
+	// Group states by macro state.
+	groups := map[cp.UEState][]State{}
+	for s := 0; s < m.NumStates(); s++ {
+		top := m.Top(State(s))
+		groups[top] = append(groups[top], State(s))
+	}
+	macros := make([]cp.UEState, 0, len(groups))
+	for top := range groups {
+		macros = append(macros, top)
+	}
+	sort.Slice(macros, func(i, j int) bool { return macros[i] < macros[j] })
+	for _, top := range macros {
+		states := groups[top]
+		if len(states) == 1 && m.StateName(states[0]) == top.String() {
+			// A macro state with no sub-structure: plain node.
+			fmt.Fprintf(&b, "  %q;\n", m.StateName(states[0]))
+			continue
+		}
+		fmt.Fprintf(&b, "  subgraph \"cluster_%s\" {\n    label=%q;\n", top, top.String())
+		for _, s := range states {
+			fmt.Fprintf(&b, "    %q;\n", m.StateName(s))
+		}
+		b.WriteString("  }\n")
+	}
+	for s := 0; s < m.NumStates(); s++ {
+		for _, e := range m.Edges[s] {
+			fmt.Fprintf(&b, "  %q -> %q [label=%q];\n",
+				m.StateName(State(s)), m.StateName(e.To), e.Event.String())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

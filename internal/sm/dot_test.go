@@ -1,0 +1,40 @@
+package sm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTContainsAllStatesAndEdges(t *testing.T) {
+	for _, m := range []*Machine{LTE2Level(), EMMECM(), FiveGSA()} {
+		dot := m.DOT()
+		if !strings.HasPrefix(dot, "digraph") || !strings.HasSuffix(dot, "}\n") {
+			t.Fatalf("%s: malformed dot", m.Name)
+		}
+		for s := 0; s < m.NumStates(); s++ {
+			if !strings.Contains(dot, `"`+m.StateName(State(s))+`"`) {
+				t.Errorf("%s: state %s missing from dot", m.Name, m.StateName(State(s)))
+			}
+		}
+		edges := 0
+		for s := range m.Edges {
+			edges += len(m.Edges[s])
+		}
+		if got := strings.Count(dot, "->"); got != edges {
+			t.Errorf("%s: %d edges rendered, want %d", m.Name, got, edges)
+		}
+	}
+}
+
+func TestDOTGroupsSubMachines(t *testing.T) {
+	dot := LTE2Level().DOT()
+	if !strings.Contains(dot, `subgraph "cluster_CONNECTED"`) {
+		t.Error("CONNECTED sub-machine not clustered")
+	}
+	if !strings.Contains(dot, `subgraph "cluster_IDLE"`) {
+		t.Error("IDLE sub-machine not clustered")
+	}
+	if strings.Contains(dot, `subgraph "cluster_DEREGISTERED"`) {
+		t.Error("DEREGISTERED has no sub-structure, should be a plain node")
+	}
+}

@@ -1,0 +1,118 @@
+package sm
+
+import (
+	"cptraffic/internal/cp"
+	"cptraffic/internal/trace"
+)
+
+// This file provides macro-level (EMM-ECM) accounting that is robust to
+// traces violating the two-level protocol — which baseline-generated
+// traces do by design (e.g. HO while IDLE). The macro state is tracked
+// from Category-1 events only (ATCH, DTCH, SRV_REQ, S1_CONN_REL), whose
+// semantics every method honors, so attribution of Category-2 events
+// (HO, TAU) never desynchronizes.
+
+// Category1 reports whether e is a state-changing (Category-1) event.
+func Category1(e cp.EventType) bool {
+	switch e {
+	case cp.Attach, cp.Detach, cp.ServiceRequest, cp.S1ConnRelease:
+		return true
+	}
+	return false
+}
+
+// macroAfter returns the macro state a UE occupies right after a
+// Category-1 event.
+func macroAfter(e cp.EventType) cp.UEState {
+	switch e {
+	case cp.Attach, cp.ServiceRequest:
+		return cp.StateConnected
+	case cp.Detach:
+		return cp.StateDeregistered
+	case cp.S1ConnRelease:
+		return cp.StateIdle
+	}
+	panic("sm: macroAfter of Category-2 event")
+}
+
+// InferMacroInitial guesses the macro state a UE occupied before its
+// first observed event, from the first Category-1 event in the sequence
+// (the state that event departs from). If the sequence has no Category-1
+// event, registered UEs are assumed: CONNECTED if any HO appears (HO
+// requires CONNECTED), IDLE otherwise.
+func InferMacroInitial(evs []trace.Event) cp.UEState {
+	for _, ev := range evs {
+		switch ev.Type {
+		case cp.Attach:
+			return cp.StateDeregistered
+		case cp.ServiceRequest:
+			return cp.StateIdle
+		case cp.S1ConnRelease, cp.Detach:
+			return cp.StateConnected
+		}
+	}
+	for _, ev := range evs {
+		if ev.Type == cp.Handover {
+			return cp.StateConnected
+		}
+	}
+	return cp.StateIdle
+}
+
+// MacroBreakdown attributes every event of a single UE's time-ordered
+// sequence to the macro state in which it occurred. Category-1 events
+// are attributed to the state they establish (the paper counts SRV_REQ
+// as a CONNECTED event and S1_CONN_REL as an IDLE event); Category-2
+// events to the state current when they fire. This is the accounting
+// behind the "HO (CONN.) / HO (IDLE) / TAU (CONN.) / TAU (IDLE)" rows of
+// Tables 4 and 11.
+func MacroBreakdown(evs []trace.Event, initial cp.UEState) map[cp.EventType]map[cp.UEState]int {
+	out := make(map[cp.EventType]map[cp.UEState]int)
+	add := func(e cp.EventType, s cp.UEState) {
+		inner := out[e]
+		if inner == nil {
+			inner = make(map[cp.UEState]int)
+			out[e] = inner
+		}
+		inner[s]++
+	}
+	cur := initial
+	for _, ev := range evs {
+		if Category1(ev.Type) {
+			cur = macroAfter(ev.Type)
+			add(ev.Type, cur)
+		} else {
+			add(ev.Type, cur)
+		}
+	}
+	return out
+}
+
+// MacroSojourns returns the completed visit durations (seconds) in each
+// macro state for one UE, tracked from Category-1 events only. The visit
+// in progress at the start (unknown entry) and at the end (unknown exit)
+// are not counted.
+func MacroSojourns(evs []trace.Event, initial cp.UEState) map[cp.UEState][]float64 {
+	out := make(map[cp.UEState][]float64)
+	cur := initial
+	var enteredAt cp.Millis
+	have := false
+	for _, ev := range evs {
+		if !Category1(ev.Type) {
+			continue
+		}
+		next := macroAfter(ev.Type)
+		if next != cur {
+			if have {
+				out[cur] = append(out[cur], (ev.T - enteredAt).Seconds())
+			}
+			cur = next
+			enteredAt = ev.T
+			have = true
+		}
+		// A Category-1 event that does not change the macro state (e.g.
+		// the S1_CONN_REL that releases a TAU's signaling while already
+		// IDLE) leaves the visit running.
+	}
+	return out
+}

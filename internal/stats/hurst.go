@@ -1,0 +1,143 @@
+package stats
+
+import "math"
+
+// Self-similarity estimation for point processes. The paper's
+// variance-time analysis (§4.2) follows Leland et al. and Garrett &
+// Willinger; the Hurst parameter H summarizes the same phenomenon in a
+// single number: H = 0.5 for Poisson-like traffic, H -> 1 for strongly
+// long-range-dependent (bursty) traffic.
+
+// HurstVT estimates the Hurst parameter from a variance-time curve by
+// regressing log10(NormVar) on log10(scale): for an exactly self-similar
+// process the slope is beta = 2H - 2, so H = 1 + slope/2. NaN points are
+// skipped; fewer than two usable points yield NaN.
+func HurstVT(curve []VTPoint) float64 {
+	var xs, ys []float64
+	for _, p := range curve {
+		if math.IsNaN(p.NormVar) || p.NormVar <= 0 || p.ScaleSec <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log10(p.ScaleSec))
+		ys = append(ys, math.Log10(p.NormVar))
+	}
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	slope, _ := linearFit(xs, ys)
+	h := 1 + slope/2
+	// Clamp to the meaningful range: estimation noise can push slightly
+	// past the theoretical bounds.
+	if h < 0 {
+		h = 0
+	}
+	if h > 1 {
+		h = 1
+	}
+	return h
+}
+
+// HurstRS estimates the Hurst parameter of a time series with the
+// classical rescaled-range (R/S) method: the series is split into blocks
+// of several sizes, each block's rescaled range R/S is computed, and
+// log(R/S) is regressed on log(block size). Needs at least 32 points;
+// returns NaN otherwise.
+func HurstRS(series []float64) float64 {
+	n := len(series)
+	if n < 32 {
+		return math.NaN()
+	}
+	var xs, ys []float64
+	for size := 8; size <= n/4; size *= 2 {
+		blocks := n / size
+		var sum float64
+		count := 0
+		for b := 0; b < blocks; b++ {
+			rs := rescaledRange(series[b*size : (b+1)*size])
+			if !math.IsNaN(rs) && rs > 0 {
+				sum += rs
+				count++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		xs = append(xs, math.Log(float64(size)))
+		ys = append(ys, math.Log(sum/float64(count)))
+	}
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	slope, _ := linearFit(xs, ys)
+	if slope < 0 {
+		slope = 0
+	}
+	if slope > 1 {
+		slope = 1
+	}
+	return slope
+}
+
+// rescaledRange computes R/S of one block.
+func rescaledRange(block []float64) float64 {
+	mean := Mean(block)
+	// Cumulative deviations from the mean.
+	var cum, minC, maxC float64
+	var sq float64
+	for _, x := range block {
+		d := x - mean
+		cum += d
+		if cum < minC {
+			minC = cum
+		}
+		if cum > maxC {
+			maxC = cum
+		}
+		sq += d * d
+	}
+	s := math.Sqrt(sq / float64(len(block)))
+	if s == 0 {
+		return math.NaN()
+	}
+	return (maxC - minC) / s
+}
+
+// linearFit returns the least-squares slope and intercept of y on x.
+func linearFit(xs, ys []float64) (slope, intercept float64) {
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return 0, my
+	}
+	slope = sxy / sxx
+	return slope, my - slope*mx
+}
+
+// CountSeries bins event times (seconds) into fixed windows over
+// [0, horizon) — the counting process a Hurst estimate runs on.
+func CountSeries(timesSec []float64, horizonSec, binSec float64) []float64 {
+	if binSec <= 0 || horizonSec <= 0 {
+		return nil
+	}
+	n := int(horizonSec / binSec)
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for _, t := range timesSec {
+		if t < 0 || t >= horizonSec {
+			continue
+		}
+		b := int(t / binSec)
+		if b >= n {
+			b = n - 1
+		}
+		out[b]++
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package stats
+
+import "sort"
+
+// KaplanMeier estimates the marginal distribution of an event time from
+// right-censored observations: fired holds the observed (uncensored)
+// event times, censored the times at which observation stopped without
+// the event. It returns the conditional-given-finite quantile table, the
+// residual tail mass (the KM survival beyond the last observed event —
+// the probability the event never fires within observable horizons), and
+// ok=false when there are no uncensored observations at all.
+//
+// The library uses it for the sub-machine (bottom-level) sojourns of the
+// two-level model: every top-level state change right-censors the
+// pending sub-machine delay, so fitting on uncensored delays alone would
+// bias them short and over-generate HO/TAU when raced against the top
+// level.
+func KaplanMeier(fired, censored []float64) (q *QuantileTable, tail float64, ok bool) {
+	if len(fired) == 0 {
+		return nil, 1, false
+	}
+	type obs struct {
+		t     float64
+		event bool
+	}
+	all := make([]obs, 0, len(fired)+len(censored))
+	for _, t := range fired {
+		all = append(all, obs{t, true})
+	}
+	for _, t := range censored {
+		all = append(all, obs{t, false})
+	}
+	// Sort by time; at ties, events before censorings (the standard
+	// convention: a unit censored at t was still at risk at t).
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].t != all[j].t {
+			return all[i].t < all[j].t
+		}
+		return all[i].event && !all[j].event
+	})
+
+	n := len(all)
+	type step struct {
+		t float64
+		F float64 // cumulative incidence 1 - S(t)
+	}
+	var steps []step
+	S := 1.0
+	i := 0
+	for i < n {
+		t := all[i].t
+		d := 0 // events at t
+		j := i
+		for j < n && all[j].t == t {
+			if all[j].event {
+				d++
+			}
+			j++
+		}
+		atRisk := n - i
+		if d > 0 {
+			S *= 1 - float64(d)/float64(atRisk)
+			steps = append(steps, step{t: t, F: 1 - S})
+		}
+		i = j
+	}
+	tail = S
+	fMax := 1 - S
+	if fMax <= 0 {
+		return nil, 1, false
+	}
+	// Build the conditional-given-finite quantile table by inverting
+	// F(t)/fMax over an even probability grid.
+	// Always use the full grid: unlike a plain sample table, KM steps
+	// carry unequal probability masses, and a coarse grid would misplace
+	// them.
+	points := DefaultQuantilePoints
+	qv := make([]float64, points)
+	si := 0
+	for k := 0; k < points; k++ {
+		p := float64(k) / float64(points-1) * fMax
+		for si < len(steps)-1 && steps[si].F < p {
+			si++
+		}
+		qv[k] = steps[si].t
+	}
+	// Guarantee exact lower/upper endpoints.
+	qv[0] = steps[0].t
+	qv[points-1] = steps[len(steps)-1].t
+	return &QuantileTable{Q: qv}, tail, true
+}
+
+// CensoredExpMLE returns the maximum-likelihood exponential rate for
+// right-censored data: lambda = (#events) / (total observed time at
+// risk). ok is false when the estimate is degenerate.
+func CensoredExpMLE(fired, censored []float64) (lambda float64, ok bool) {
+	if len(fired) == 0 {
+		return 0, false
+	}
+	var total float64
+	for _, t := range fired {
+		if t < 0 {
+			return 0, false
+		}
+		total += t
+	}
+	for _, t := range censored {
+		if t < 0 {
+			return 0, false
+		}
+		total += t
+	}
+	if total <= 0 {
+		return 0, false
+	}
+	return float64(len(fired)) / total, true
+}

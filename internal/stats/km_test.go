@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKaplanMeierNoCensoring(t *testing.T) {
+	fired := []float64{1, 2, 3, 4, 5}
+	q, tail, ok := KaplanMeier(fired, nil)
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if tail != 0 {
+		t.Fatalf("tail = %v, want 0", tail)
+	}
+	// Without censoring KM is the empirical distribution.
+	if q.Quantile(0) != 1 || q.Quantile(1) != 5 {
+		t.Fatalf("endpoints = %v, %v", q.Quantile(0), q.Quantile(1))
+	}
+	if med := q.Quantile(0.5); med < 2 || med > 4 {
+		t.Fatalf("median = %v", med)
+	}
+}
+
+func TestKaplanMeierAllCensored(t *testing.T) {
+	if _, tail, ok := KaplanMeier(nil, []float64{1, 2}); ok || tail != 1 {
+		t.Fatal("all-censored should be not-ok with tail 1")
+	}
+}
+
+func TestKaplanMeierKnownValues(t *testing.T) {
+	// Classic worked example: events at 1, 3; censored at 2, 4.
+	// n=4 at risk at t=1: S=3/4. At t=3, at risk = {3,4}: S=3/4 * 1/2 = 3/8.
+	q, tail, ok := KaplanMeier([]float64{1, 3}, []float64{2, 4})
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if math.Abs(tail-0.375) > 1e-12 {
+		t.Fatalf("tail = %v, want 0.375", tail)
+	}
+	// Conditional CDF: F(1) = 0.25/0.625 = 0.4, F(3) = 1.
+	if got := q.CDF(1); math.Abs(got-0.4) > 0.05 {
+		t.Fatalf("F(1) = %v, want ~0.4", got)
+	}
+	if got := q.CDF(3); got != 1 {
+		t.Fatalf("F(3) = %v", got)
+	}
+}
+
+func TestKaplanMeierRecoversMarginalUnderCensoring(t *testing.T) {
+	// Event times ~ Exp(1), censor times ~ Exp(0.5) independent. The KM
+	// estimate of the event marginal should be close to Exp(1) in spite
+	// of heavy censoring.
+	r := NewRNG(31)
+	var fired, censored []float64
+	for i := 0; i < 30000; i++ {
+		e := r.Exp(1)
+		c := r.Exp(0.5)
+		if e <= c {
+			fired = append(fired, e)
+		} else {
+			censored = append(censored, c)
+		}
+	}
+	q, tail, ok := KaplanMeier(fired, censored)
+	if !ok {
+		t.Fatal("not ok")
+	}
+	truth := Exponential{Lambda: 1}
+	// Compare the conditional-given-finite KM quantiles against the
+	// truth conditioned at the same mass: F_cond(t) = F(t)/(1-tail).
+	fMax := 1 - tail
+	for p := 0.05; p < 0.9; p += 0.1 {
+		got := q.Quantile(p)
+		want := truth.Quantile(p * fMax)
+		if math.Abs(got-want) > 0.12*want+0.03 {
+			t.Fatalf("p=%v: KM %v vs truth %v (tail %v)", p, got, want, tail)
+		}
+	}
+	// Naive fitting on uncensored only would give a much smaller median.
+	naive := NewEmpirical(fired)
+	if naive.Quantile(0.5) >= q.Quantile(0.5) {
+		t.Fatal("KM should shift mass right of the naive uncensored fit")
+	}
+}
+
+func TestKaplanMeierTiesHandled(t *testing.T) {
+	// Event and censoring at the same time: censored unit still at risk.
+	// n=3 at t=1 (1 event): S = 2/3. Then censored at 1 and 2 -> tail 2/3.
+	_, tail, ok := KaplanMeier([]float64{1}, []float64{1, 2})
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if math.Abs(tail-2.0/3) > 1e-12 {
+		t.Fatalf("tail = %v, want 2/3", tail)
+	}
+}
+
+func TestCensoredExpMLE(t *testing.T) {
+	// lambda = events / total time.
+	l, ok := CensoredExpMLE([]float64{1, 2}, []float64{3})
+	if !ok || math.Abs(l-2.0/6) > 1e-12 {
+		t.Fatalf("lambda = %v, ok=%v", l, ok)
+	}
+	if _, ok := CensoredExpMLE(nil, []float64{1}); ok {
+		t.Fatal("no events accepted")
+	}
+	if _, ok := CensoredExpMLE([]float64{0}, nil); ok {
+		t.Fatal("zero total time accepted")
+	}
+	if _, ok := CensoredExpMLE([]float64{-1, 2}, nil); ok {
+		t.Fatal("negative time accepted")
+	}
+}
+
+func TestCensoredExpMLERecoversRate(t *testing.T) {
+	r := NewRNG(33)
+	var fired, censored []float64
+	for i := 0; i < 30000; i++ {
+		e := r.Exp(2)
+		c := r.Exp(1)
+		if e <= c {
+			fired = append(fired, e)
+		} else {
+			censored = append(censored, c)
+		}
+	}
+	l, ok := CensoredExpMLE(fired, censored)
+	if !ok || math.Abs(l-2) > 0.05 {
+		t.Fatalf("lambda = %v", l)
+	}
+}

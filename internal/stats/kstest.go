@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSResult reports the outcome of a Kolmogorov–Smirnov test.
+type KSResult struct {
+	// D is the K–S statistic: the supremum distance between the empirical
+	// CDF of the sample and the reference CDF.
+	D float64
+	// P is the (asymptotic) p-value: the probability of observing a
+	// distance at least D under the null hypothesis.
+	P float64
+	// N is the effective sample size used for the p-value.
+	N int
+}
+
+// Reject reports whether the null hypothesis is rejected at significance
+// level alpha (the paper uses alpha = 0.05).
+func (r KSResult) Reject(alpha float64) bool { return r.P < alpha }
+
+// KSTest performs the one-sample Kolmogorov–Smirnov test of the sample xs
+// against the reference distribution d. The p-value uses the asymptotic
+// Kolmogorov distribution with the Stephens small-sample correction
+// (D * (sqrt(n) + 0.12 + 0.11/sqrt(n))), matching common practice (and
+// scipy's asymptotic mode the paper's pipeline would have used).
+func KSTest(xs []float64, d Dist) KSResult {
+	n := len(xs)
+	if n == 0 {
+		return KSResult{D: 0, P: 1, N: 0}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var dMax float64
+	for i, x := range s {
+		f := d.CDF(x)
+		dPlus := float64(i+1)/float64(n) - f
+		dMinus := f - float64(i)/float64(n)
+		if dPlus > dMax {
+			dMax = dPlus
+		}
+		if dMinus > dMax {
+			dMax = dMinus
+		}
+	}
+	return KSResult{D: dMax, P: ksPValue(dMax, float64(n)), N: n}
+}
+
+// KSTest2 performs the two-sample Kolmogorov–Smirnov test between samples
+// xs and ys. It is used for the Tcplib-style comparison where the
+// reference is itself an empirical distribution.
+func KSTest2(xs, ys []float64) KSResult {
+	n, m := len(xs), len(ys)
+	if n == 0 || m == 0 {
+		return KSResult{D: 0, P: 1}
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	var d float64
+	i, j := 0, 0
+	for i < n && j < m {
+		x := a[i]
+		y := b[j]
+		if x <= y {
+			i++
+		}
+		if y <= x {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(n) - float64(j)/float64(m))
+		if diff > d {
+			d = diff
+		}
+	}
+	ne := float64(n) * float64(m) / float64(n+m)
+	return KSResult{D: d, P: ksPValue(d, ne), N: int(ne)}
+}
+
+// ksPValue returns Q_KS(d * (sqrt(ne) + 0.12 + 0.11/sqrt(ne))), the
+// asymptotic survival function of the Kolmogorov distribution
+// (Numerical Recipes form).
+func ksPValue(d, ne float64) float64 {
+	if ne <= 0 || d <= 0 {
+		return 1
+	}
+	sq := math.Sqrt(ne)
+	lambda := (sq + 0.12 + 0.11/sq) * d
+	return kolmogorovQ(lambda)
+}
+
+// kolmogorovQ evaluates Q(λ) = 2 Σ_{k≥1} (-1)^{k-1} exp(-2 k² λ²),
+// clamped to [0, 1].
+func kolmogorovQ(lambda float64) float64 {
+	if lambda < 1e-10 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12*math.Abs(sum) || math.Abs(term) < 1e-300 {
+			break
+		}
+		sign = -sign
+	}
+	q := 2 * sum
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}
+
+// ADResult reports the outcome of an Anderson–Darling test for
+// exponentiality.
+type ADResult struct {
+	// A2 is the Anderson–Darling statistic.
+	A2 float64
+	// A2Star is the statistic adjusted for estimating the scale from the
+	// sample (Stephens 1974): A²(1 + 0.6/n).
+	A2Star float64
+	// N is the sample size.
+	N int
+}
+
+// adExpCritical holds (significance level, critical value) pairs for the
+// exponential distribution with estimated scale, from Stephens (1974),
+// "EDF Statistics for Goodness of Fit", Case where the mean is estimated.
+var adExpCritical = []struct {
+	Alpha float64
+	Value float64
+}{
+	{0.15, 0.922},
+	{0.10, 1.078},
+	{0.05, 1.341},
+	{0.025, 1.606},
+	{0.01, 1.957},
+}
+
+// Reject reports whether exponentiality is rejected at the given
+// significance level; supported levels are those in Stephens' table
+// (0.15, 0.10, 0.05, 0.025, 0.01). Unsupported levels fall back to the
+// closest tabulated level.
+func (r ADResult) Reject(alpha float64) bool {
+	best := adExpCritical[0]
+	for _, c := range adExpCritical[1:] {
+		if math.Abs(c.Alpha-alpha) < math.Abs(best.Alpha-alpha) {
+			best = c
+		}
+	}
+	return r.A2Star > best.Value
+}
+
+// ADTestExponential performs the Anderson–Darling goodness-of-fit test of
+// xs against the exponential family with rate estimated by MLE from the
+// same sample. The A² statistic weights the tails more heavily than K–S,
+// which is exactly why the paper runs both.
+func ADTestExponential(xs []float64) (ADResult, error) {
+	n := len(xs)
+	if n < 2 {
+		return ADResult{}, ErrTooFewSamples
+	}
+	fit, err := FitExponential(xs)
+	if err != nil {
+		return ADResult{}, err
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum float64
+	for i, x := range s {
+		f := fit.CDF(x)
+		// Clamp away from 0/1 so the logs stay finite for ties at zero.
+		f = math.Min(math.Max(f, 1e-15), 1-1e-15)
+		fRev := fit.CDF(s[n-1-i])
+		fRev = math.Min(math.Max(fRev, 1e-15), 1-1e-15)
+		sum += float64(2*i+1) * (math.Log(f) + math.Log(1-fRev))
+	}
+	a2 := -float64(n) - sum/float64(n)
+	return ADResult{A2: a2, A2Star: a2 * (1 + 0.6/float64(n)), N: n}, nil
+}

@@ -1,0 +1,143 @@
+package stats
+
+import "math"
+
+// Variance–time analysis (paper §4.2, Fig. 3): the timeline is divided
+// into fixed 100 ms bins; for each aggregation scale M seconds, events are
+// grouped into M-second windows, the per-window average bin count k_i is
+// computed, and the variance of k_i across windows — normalized by the
+// squared mean — measures burstiness at that scale. A Poisson process
+// yields a straight line of slope -1 in log–log space; long-range
+// dependent (bursty) traffic decays more slowly and sits above it.
+
+// VTPoint is one point of a variance–time curve.
+type VTPoint struct {
+	// ScaleSec is the window length M in seconds.
+	ScaleSec float64
+	// NormVar is Var(k_i) / Mean(k_i)², the normalized variance of the
+	// per-window average bin count. NaN when fewer than two windows fit
+	// or the mean is zero.
+	NormVar float64
+}
+
+// DefaultVTScales are the paper's aggregation scales: 1 s to 10³ s.
+var DefaultVTScales = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+
+// VTOptions configures VarianceTime.
+type VTOptions struct {
+	// BinWidthSec is the base bin width; 0 means the paper's 100 ms.
+	BinWidthSec float64
+	// Scales are the window lengths in seconds; nil means DefaultVTScales.
+	Scales []float64
+}
+
+// VarianceTime computes the variance–time curve of a point process whose
+// event times (in seconds, within [0, horizonSec)) are given. Events
+// outside the horizon are ignored.
+func VarianceTime(timesSec []float64, horizonSec float64, opts VTOptions) []VTPoint {
+	bw := opts.BinWidthSec
+	if bw <= 0 {
+		bw = 0.1
+	}
+	scales := opts.Scales
+	if scales == nil {
+		scales = DefaultVTScales
+	}
+	nBins := int(horizonSec / bw)
+	if nBins <= 0 {
+		out := make([]VTPoint, len(scales))
+		for i, m := range scales {
+			out[i] = VTPoint{ScaleSec: m, NormVar: math.NaN()}
+		}
+		return out
+	}
+	counts := make([]float64, nBins)
+	for _, t := range timesSec {
+		if t < 0 || t >= horizonSec {
+			continue
+		}
+		b := int(t / bw)
+		if b >= nBins {
+			b = nBins - 1
+		}
+		counts[b]++
+	}
+
+	out := make([]VTPoint, 0, len(scales))
+	for _, m := range scales {
+		binsPerWin := int(m/bw + 0.5)
+		if binsPerWin < 1 {
+			binsPerWin = 1
+		}
+		nWin := nBins / binsPerWin
+		if nWin < 2 {
+			out = append(out, VTPoint{ScaleSec: m, NormVar: math.NaN()})
+			continue
+		}
+		ks := make([]float64, nWin)
+		for w := 0; w < nWin; w++ {
+			var s float64
+			for b := w * binsPerWin; b < (w+1)*binsPerWin; b++ {
+				s += counts[b]
+			}
+			ks[w] = s / float64(binsPerWin)
+		}
+		mean := Mean(ks)
+		if mean == 0 {
+			out = append(out, VTPoint{ScaleSec: m, NormVar: math.NaN()})
+			continue
+		}
+		out = append(out, VTPoint{ScaleSec: m, NormVar: PopVariance(ks) / (mean * mean)})
+	}
+	return out
+}
+
+// PoissonVarianceTime returns the analytic variance–time curve of a
+// homogeneous Poisson process with the given event rate (events/second):
+// with bin width b and window of m bins, Var(k) = rate*b/m and
+// Mean(k) = rate*b, so NormVar = 1/(rate*b*m) — the slope -1 reference
+// line of Fig. 3.
+func PoissonVarianceTime(rate float64, opts VTOptions) []VTPoint {
+	bw := opts.BinWidthSec
+	if bw <= 0 {
+		bw = 0.1
+	}
+	scales := opts.Scales
+	if scales == nil {
+		scales = DefaultVTScales
+	}
+	out := make([]VTPoint, len(scales))
+	for i, m := range scales {
+		binsPerWin := math.Max(1, math.Round(m/bw))
+		if rate <= 0 {
+			out[i] = VTPoint{ScaleSec: m, NormVar: math.NaN()}
+			continue
+		}
+		out[i] = VTPoint{ScaleSec: m, NormVar: 1 / (rate * bw * binsPerWin)}
+	}
+	return out
+}
+
+// VTLogGap returns the mean difference, in log10 space, between the
+// observed and reference variance–time curves over scales where both are
+// finite — the paper's "difference in the log-scale normalized variance".
+// Positive values mean the observation is burstier than the reference.
+func VTLogGap(observed, reference []VTPoint) float64 {
+	var sum float64
+	n := 0
+	for i := range observed {
+		if i >= len(reference) {
+			break
+		}
+		a, b := observed[i].NormVar, reference[i].NormVar
+		if math.IsNaN(a) || math.IsNaN(b) || a <= 0 || b <= 0 {
+			continue
+		}
+		sum += math.Log10(a) - math.Log10(b)
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

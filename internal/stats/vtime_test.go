@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// poissonArrivals generates event times of a homogeneous Poisson process.
+func poissonArrivals(rate, horizon float64, seed uint64) []float64 {
+	r := NewRNG(seed)
+	var ts []float64
+	t := r.Exp(rate)
+	for t < horizon {
+		ts = append(ts, t)
+		t += r.Exp(rate)
+	}
+	return ts
+}
+
+func TestVarianceTimePoissonMatchesAnalytic(t *testing.T) {
+	const rate, horizon = 5.0, 20000.0
+	times := poissonArrivals(rate, horizon, 21)
+	opts := VTOptions{Scales: []float64{1, 10, 100}}
+	obs := VarianceTime(times, horizon, opts)
+	ref := PoissonVarianceTime(rate, opts)
+	for i := range obs {
+		if math.IsNaN(obs[i].NormVar) {
+			t.Fatalf("NaN at scale %v", obs[i].ScaleSec)
+		}
+		logGap := math.Abs(math.Log10(obs[i].NormVar) - math.Log10(ref[i].NormVar))
+		if logGap > 0.15 {
+			t.Fatalf("scale %v: obs %v vs ref %v (log gap %v)",
+				obs[i].ScaleSec, obs[i].NormVar, ref[i].NormVar, logGap)
+		}
+	}
+}
+
+func TestVarianceTimeBurstyExceedsPoisson(t *testing.T) {
+	// An ON/OFF (Markov-modulated) process is burstier than Poisson at
+	// scales comparable to the ON/OFF period.
+	r := NewRNG(22)
+	const horizon = 20000.0
+	var times []float64
+	t0 := 0.0
+	for t0 < horizon {
+		// ON for ~30s at rate 20/s, then OFF for ~300s.
+		on := r.Exp(1.0 / 30)
+		end := math.Min(t0+on, horizon)
+		tt := t0 + r.Exp(20)
+		for tt < end {
+			times = append(times, tt)
+			tt += r.Exp(20)
+		}
+		t0 = end + r.Exp(1.0/300)
+	}
+	rate := float64(len(times)) / horizon
+	opts := VTOptions{Scales: []float64{10, 100}}
+	obs := VarianceTime(times, horizon, opts)
+	ref := PoissonVarianceTime(rate, opts)
+	gap := VTLogGap(obs, ref)
+	if math.IsNaN(gap) || gap < 0.5 {
+		t.Fatalf("bursty process log gap = %v, want > 0.5", gap)
+	}
+}
+
+func TestVarianceTimeEdgeCases(t *testing.T) {
+	// No horizon -> all NaN.
+	pts := VarianceTime(nil, 0, VTOptions{})
+	for _, p := range pts {
+		if !math.IsNaN(p.NormVar) {
+			t.Fatalf("zero horizon produced %v", p)
+		}
+	}
+	// No events -> zero means -> NaN.
+	pts = VarianceTime(nil, 100, VTOptions{Scales: []float64{1}})
+	if !math.IsNaN(pts[0].NormVar) {
+		t.Fatal("empty process should be NaN")
+	}
+	// Scale too large for horizon -> NaN.
+	pts = VarianceTime([]float64{1, 2}, 10, VTOptions{Scales: []float64{10}})
+	if !math.IsNaN(pts[0].NormVar) {
+		t.Fatal("single-window scale should be NaN")
+	}
+	// Events outside horizon are ignored.
+	a := VarianceTime([]float64{1, 2, 3}, 10, VTOptions{Scales: []float64{1}})
+	b := VarianceTime([]float64{1, 2, 3, -5, 11}, 10, VTOptions{Scales: []float64{1}})
+	if a[0].NormVar != b[0].NormVar {
+		t.Fatal("out-of-horizon events affected the curve")
+	}
+}
+
+func TestPoissonVarianceTimeShape(t *testing.T) {
+	pts := PoissonVarianceTime(2, VTOptions{Scales: []float64{1, 10, 100}})
+	// Slope -1 in log-log: each 10x scale divides NormVar by 10.
+	r1 := pts[0].NormVar / pts[1].NormVar
+	r2 := pts[1].NormVar / pts[2].NormVar
+	if math.Abs(r1-10) > 1e-9 || math.Abs(r2-10) > 1e-9 {
+		t.Fatalf("ratios %v %v, want 10", r1, r2)
+	}
+	zero := PoissonVarianceTime(0, VTOptions{Scales: []float64{1}})
+	if !math.IsNaN(zero[0].NormVar) {
+		t.Fatal("rate 0 should be NaN")
+	}
+}
+
+func TestVTLogGap(t *testing.T) {
+	obs := []VTPoint{{1, 10}, {10, 1}}
+	ref := []VTPoint{{1, 1}, {10, 0.1}}
+	if g := VTLogGap(obs, ref); math.Abs(g-1) > 1e-12 {
+		t.Fatalf("gap = %v, want 1", g)
+	}
+	if !math.IsNaN(VTLogGap(nil, nil)) {
+		t.Fatal("empty gap should be NaN")
+	}
+	withNaN := []VTPoint{{1, math.NaN()}, {10, 1}}
+	if g := VTLogGap(withNaN, ref); math.Abs(g-1) > 1e-12 {
+		t.Fatalf("NaN handling wrong: %v", g)
+	}
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"cptraffic/internal/cp"
+)
+
+// The on-disk trace format is a line-oriented text format chosen for easy
+// inspection with standard tools:
+//
+//	# cptraffic-trace v1
+//	U <ue> <device>        one line per UE registration
+//	E <millis> <ue> <type> one line per event
+//
+// Events may appear in any order; ReadTrace preserves file order.
+
+const headerLine = "# cptraffic-trace v1"
+
+// WriteTrace serializes tr to w. UE registrations are written first (in
+// ascending UE order), then events in their current order.
+func WriteTrace(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintln(bw, headerLine); err != nil {
+		return err
+	}
+	for _, ue := range tr.UEs() {
+		if _, err := fmt.Fprintf(bw, "U %d %s\n", ue, tr.Device[ue]); err != nil {
+			return err
+		}
+	}
+	for _, e := range tr.Events {
+		if _, err := fmt.Fprintf(bw, "E %d %d %s\n", e.T, e.UE, e.Type); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace previously written by WriteTrace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != headerLine {
+		return nil, fmt.Errorf("trace: bad header %q", got)
+	}
+	tr := New()
+	lineno := 1
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "U":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("trace: line %d: want 'U <ue> <device>', got %q", lineno, line)
+			}
+			ue, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad UE id: %v", lineno, err)
+			}
+			dt, err := cp.ParseDeviceType(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
+			}
+			if err := tr.SetDevice(cp.UEID(ue), dt); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
+			}
+		case "E":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("trace: line %d: want 'E <ms> <ue> <type>', got %q", lineno, line)
+			}
+			t, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad timestamp: %v", lineno, err)
+			}
+			ue, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad UE id: %v", lineno, err)
+			}
+			et, err := cp.ParseEventType(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
+			}
+			if _, ok := tr.Device[cp.UEID(ue)]; !ok {
+				return nil, fmt.Errorf("trace: line %d: event for unregistered UE %d", lineno, ue)
+			}
+			tr.Events = append(tr.Events, Event{T: cp.Millis(t), UE: cp.UEID(ue), Type: et})
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown record %q", lineno, fields[0])
+		}
+	}
+	return tr, sc.Err()
+}

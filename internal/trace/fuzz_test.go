@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"cptraffic/internal/cp"
+)
+
+// FuzzReadTrace checks that arbitrary text input never panics the parser
+// and that anything it accepts round-trips.
+func FuzzReadTrace(f *testing.F) {
+	f.Add([]byte(headerLine + "\nU 1 phone\nE 5 1 ATCH\n"))
+	f.Add([]byte(headerLine + "\n"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte(headerLine + "\nU 1 car\nU 2 tablet\nE 1 2 HO\nE 2 1 TAU\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, tr); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		back, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("serialized trace failed to parse: %v", err)
+		}
+		if back.Len() != tr.Len() || back.NumUEs() != tr.NumUEs() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+				tr.Len(), tr.NumUEs(), back.Len(), back.NumUEs())
+		}
+	})
+}
+
+// FuzzReadBinaryTrace checks the binary parser never panics and that
+// accepted inputs re-encode consistently.
+func FuzzReadBinaryTrace(f *testing.F) {
+	// Seed with a few real encodings.
+	mk := func(build func(tr *Trace)) []byte {
+		tr := New()
+		build(tr)
+		var buf bytes.Buffer
+		if err := WriteBinaryTrace(&buf, tr); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(mk(func(tr *Trace) {}))
+	f.Add(mk(func(tr *Trace) {
+		tr.SetDevice(3, cp.Phone)
+		tr.Append(Event{T: 10, UE: 3, Type: cp.Attach})
+		tr.Append(Event{T: 20, UE: 3, Type: cp.Detach})
+	}))
+	f.Add([]byte("CPTB\x01"))
+	f.Add([]byte("CPTB\xff"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinaryTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBinaryTrace(&buf, tr); err != nil {
+			t.Fatalf("accepted binary failed to re-encode: %v", err)
+		}
+		back, err := ReadBinaryTrace(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded binary failed to parse: %v", err)
+		}
+		if !reflect.DeepEqual(back.Device, tr.Device) {
+			t.Fatal("round trip changed devices")
+		}
+		if len(back.Events) != len(tr.Events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(tr.Events), len(back.Events))
+		}
+	})
+}

@@ -1,0 +1,205 @@
+// Package world synthesizes the "real world": a carrier-scale LTE
+// control-plane trace generated from first-principles UE behavior, which
+// substitutes for the proprietary operator trace the paper was fitted on
+// (see DESIGN.md, "Data substitution").
+//
+// Every UE runs a behavioral process — application sessions, mobility,
+// power cycles — whose mechanics are deliberately different from the
+// fitted model's semi-Markov structure:
+//
+//   - Session arrivals are Markov-modulated (bursty ON/OFF phases) with a
+//     diurnal rate envelope and a heavy-tailed per-UE activity level, so
+//     inter-arrival times are strongly non-Poisson (paper §4).
+//   - Session and idle durations are lognormal: heavy upper tails that
+//     exponential fits cannot capture (paper Fig. 4).
+//   - Handovers fire while CONNECTED at a mobility-driven rate; tracking
+//     area crossings follow a fraction of handovers (TAU in CONNECTED);
+//     the periodic TAU timer fires in IDLE and is released by an
+//     S1_CONN_REL, exactly the dependence structure of Fig. 5.
+//   - Power cycles produce rare ATCH/DTCH pairs.
+//
+// The emitted traces are protocol-conformant by construction (tests
+// replay them through the two-level machine and assert zero violations).
+package world
+
+import "cptraffic/internal/cp"
+
+// params is the behavioral parameterization of one device type. Rates
+// are per second at diurnal envelope 1.0 for a UE with activity
+// multiplier 1.0; durations are lognormal (mu, sigma) in seconds.
+type params struct {
+	// diurnal scales the session arrival rate by hour-of-day.
+	diurnal [24]float64
+	// weekend scales activity on days 5 and 6 of each week (the trace
+	// epoch is a Monday midnight): commuting devices quieten, leisure
+	// devices do not.
+	weekend float64
+	// mobility scales the handover rate by hour-of-day (cars drive at
+	// commute hours; phones move midday).
+	mobility [24]float64
+
+	sessRate float64 // session arrivals per second (IDLE, envelope 1)
+
+	// Follow-on sessions ("click trains"): after a session ends, with
+	// probability followP the next one starts after a short lognormal
+	// think time rather than by the background arrival process. This
+	// makes per-UE inter-session gaps bimodal — visibly non-exponential
+	// even for a single UE, as real user traffic is (paper §4).
+	followP               float64
+	followMu, followSigma float64
+
+	sessMu, sessSigma float64 // CONNECTED duration (incl. ~10 s inactivity timer)
+	// A small fraction of sessions draw a Pareto duration instead:
+	// long-lived connections (video calls, tethering, firmware pulls)
+	// give the CONNECTED sojourn a genuinely heavy tail.
+	paretoP, paretoXm, paretoAlpha float64
+
+	actSigma float64 // per-UE lognormal activity spread
+	mobSigma float64 // per-UE lognormal mobility spread
+
+	// Bursty (Markov-modulated) session arrivals: ON phases with hiFactor
+	// times the base rate alternate with OFF phases at loFactor.
+	burstOnMean, burstOffMean float64 // seconds
+	hiFactor, loFactor        float64
+
+	hoRate   float64 // handovers per second while CONNECTED (envelope 1, mobility mult 1)
+	tauPerHO float64 // probability a handover crosses a tracking area (TAU follows)
+
+	idleTauMu, idleTauSigma float64 // periodic-TAU timer in IDLE
+	tauRelMu, tauRelSigma   float64 // delay of the TAU-releasing S1_CONN_REL
+
+	offRate               float64 // power-off events per second while registered
+	offDurMu, offDurSigma float64 // power-off duration
+
+	pStartOff float64 // probability the UE starts powered off
+}
+
+// deviceParams holds the calibrated behavior of the three device types.
+// Calibration targets the event-share breakdown of the paper's Table 1
+// (phones 0.1/0.2/45.5/47.5/3.8/2.9, cars 0.9/0.9/38.9/45.2/6.6/7.4,
+// tablets 1.2/1.1/43.9/47.7/2.1/4.0) and the diurnal swings of Fig. 2.
+var deviceParams = [cp.NumDeviceTypes]params{
+	cp.Phone: {
+		diurnal: [24]float64{
+			0.25, 0.15, 0.10, 0.08, 0.08, 0.12, 0.30, 0.55,
+			0.75, 0.85, 0.90, 0.95, 1.00, 0.95, 0.90, 0.90,
+			0.95, 1.00, 1.00, 0.95, 0.85, 0.70, 0.50, 0.35,
+		},
+		mobility: [24]float64{
+			0.05, 0.03, 0.02, 0.02, 0.02, 0.05, 0.30, 0.80,
+			0.90, 0.60, 0.50, 0.55, 0.60, 0.55, 0.50, 0.55,
+			0.70, 0.95, 1.00, 0.70, 0.45, 0.30, 0.15, 0.08,
+		},
+		weekend:      0.90,
+		sessRate:     14.0 / 3600, // background arrivals; follow-ons add ~60%
+		followP:      0.38,
+		followMu:     2.6, // think time median ~13 s
+		followSigma:  0.9,
+		sessMu:       3.0, // median ~20 s connected
+		sessSigma:    1.3,
+		paretoP:      0.03,
+		paretoXm:     60,
+		paretoAlpha:  1.4,
+		actSigma:     1.1,
+		mobSigma:     1.2,
+		burstOnMean:  600,
+		burstOffMean: 2400,
+		hiFactor:     3.2,
+		loFactor:     0.25,
+		hoRate:       4.0 / 3600,
+		tauPerHO:     0.18,
+		idleTauMu:    8.2, // median ~60 min
+		idleTauSigma: 0.35,
+		tauRelMu:     0.0,
+		tauRelSigma:  0.5,
+		offRate:      0.035 / 3600,
+		offDurMu:     8.0, // median ~50 min off
+		offDurSigma:  0.8,
+		pStartOff:    0.02,
+	},
+	cp.ConnectedCar: {
+		diurnal: [24]float64{
+			0.02, 0.01, 0.01, 0.01, 0.02, 0.08, 0.35, 0.90,
+			1.00, 0.70, 0.50, 0.50, 0.55, 0.55, 0.50, 0.60,
+			0.85, 1.00, 0.90, 0.60, 0.35, 0.15, 0.08, 0.04,
+		},
+		mobility: [24]float64{
+			0.02, 0.01, 0.01, 0.01, 0.02, 0.10, 0.45, 1.00,
+			0.95, 0.55, 0.40, 0.40, 0.50, 0.50, 0.45, 0.55,
+			0.90, 1.00, 0.85, 0.50, 0.25, 0.10, 0.05, 0.03,
+		},
+		weekend:      0.55, // far less commuting
+		sessRate:     12.0 / 3600,
+		followP:      0.28,
+		followMu:     2.3,
+		followSigma:  0.7,
+		sessMu:       3.2, // telemetry bursts, median ~25 s
+		sessSigma:    1.1,
+		paretoP:      0.015, // rare long diagnostics sessions
+		paretoXm:     90,
+		paretoAlpha:  1.6,
+		actSigma:     0.9,
+		mobSigma:     1.0,
+		burstOnMean:  1500, // a drive
+		burstOffMean: 5400, // parked
+		hiFactor:     4.0,
+		loFactor:     0.08,
+		hoRate:       28.0 / 3600, // driving: frequent cell changes
+		tauPerHO:     0.22,
+		idleTauMu:    7.6, // median ~33 min (moving cars re-TAU often)
+		idleTauSigma: 0.45,
+		tauRelMu:     0.0,
+		tauRelSigma:  0.5,
+		offRate:      0.16 / 3600, // ignition off/on
+		offDurMu:     8.6,
+		offDurSigma:  1.0,
+		pStartOff:    0.10,
+	},
+	cp.Tablet: {
+		diurnal: [24]float64{
+			0.30, 0.20, 0.12, 0.10, 0.10, 0.12, 0.20, 0.35,
+			0.50, 0.60, 0.65, 0.70, 0.75, 0.70, 0.65, 0.65,
+			0.70, 0.85, 1.00, 1.00, 0.95, 0.80, 0.60, 0.45,
+		},
+		mobility: [24]float64{
+			0.02, 0.01, 0.01, 0.01, 0.01, 0.02, 0.05, 0.15,
+			0.20, 0.18, 0.15, 0.15, 0.18, 0.18, 0.15, 0.15,
+			0.18, 0.25, 0.30, 0.20, 0.12, 0.08, 0.05, 0.03,
+		},
+		weekend:      1.15, // more home/leisure use
+		sessRate:     12.0 / 3600,
+		followP:      0.35,
+		followMu:     2.8,
+		followSigma:  0.9,
+		sessMu:       3.4, // longer media sessions
+		sessSigma:    1.4,
+		paretoP:      0.05, // streaming: tablets hold connections longest
+		paretoXm:     120,
+		paretoAlpha:  1.3,
+		actSigma:     1.3, // tablets: many nearly-idle, some heavy
+		mobSigma:     1.0,
+		burstOnMean:  1800,
+		burstOffMean: 7200,
+		hiFactor:     3.5,
+		loFactor:     0.10,
+		hoRate:       2.5 / 3600,
+		tauPerHO:     0.20,
+		idleTauMu:    8.1,
+		idleTauSigma: 0.35,
+		tauRelMu:     0.0,
+		tauRelSigma:  0.5,
+		offRate:      0.18 / 3600,
+		offDurMu:     8.8,
+		offDurSigma:  0.9,
+		pStartOff:    0.08,
+	},
+}
+
+// DefaultMix is the training population's device-type composition,
+// matching the paper's sample (23,388 phones, 9,308 connected cars,
+// 4,629 tablets out of 37,325 UEs).
+var DefaultMix = [cp.NumDeviceTypes]float64{
+	cp.Phone:        0.627,
+	cp.ConnectedCar: 0.249,
+	cp.Tablet:       0.124,
+}

@@ -1,0 +1,376 @@
+package world
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"cptraffic/internal/cp"
+	"cptraffic/internal/stats"
+	"cptraffic/internal/trace"
+)
+
+// Options configures the ground-truth simulation.
+type Options struct {
+	// NumUEs is the population size.
+	NumUEs int
+	// Duration is the trace length; the epoch is midnight, so hour-of-day
+	// h covers [h*Hour, (h+1)*Hour).
+	Duration cp.Millis
+	// Offset warm-starts the simulation at an absolute time instead of
+	// midnight: events cover [Offset, Offset+Duration) with the correct
+	// diurnal phase. Use it to synthesize a busy hour without paying for
+	// the whole day before it.
+	Offset cp.Millis
+	// Seed makes the world reproducible.
+	Seed uint64
+	// Mix optionally overrides the device composition (defaults to the
+	// paper's 62.7/24.9/12.4% split).
+	Mix []float64
+	// Workers bounds concurrency; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Generate simulates the UE population and returns the sorted trace.
+func Generate(opt Options) (*trace.Trace, error) {
+	if opt.NumUEs <= 0 {
+		return nil, fmt.Errorf("world: NumUEs must be positive")
+	}
+	if opt.Duration <= 0 {
+		return nil, fmt.Errorf("world: Duration must be positive")
+	}
+	if opt.Offset < 0 {
+		return nil, fmt.Errorf("world: Offset must be non-negative")
+	}
+	mix := DefaultMix
+	if opt.Mix != nil {
+		if len(opt.Mix) != cp.NumDeviceTypes {
+			return nil, fmt.Errorf("world: Mix must have %d entries", cp.NumDeviceTypes)
+		}
+		var sum float64
+		for d, m := range opt.Mix {
+			if m < 0 {
+				return nil, fmt.Errorf("world: negative mix entry")
+			}
+			mix[d] = m
+			sum += m
+		}
+		if sum <= 0 {
+			return nil, fmt.Errorf("world: empty mix")
+		}
+		for d := range mix {
+			mix[d] /= sum
+		}
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opt.NumUEs {
+		workers = opt.NumUEs
+	}
+
+	root := stats.NewRNG(opt.Seed)
+	devices := make([]cp.DeviceType, opt.NumUEs)
+	rngs := make([]*stats.RNG, opt.NumUEs)
+	for i := range devices {
+		r := root.Split(uint64(i) + 1)
+		rngs[i] = r
+		u := r.Float64()
+		var acc float64
+		devices[i] = cp.Tablet
+		for d, m := range mix {
+			acc += m
+			if u < acc {
+				devices[i] = cp.DeviceType(d)
+				break
+			}
+		}
+	}
+
+	out := make([][]trace.Event, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var evs []trace.Event
+			for i := w; i < opt.NumUEs; i += workers {
+				u := ueSim{
+					ue:    cp.UEID(i),
+					p:     &deviceParams[devices[i]],
+					rng:   rngs[i],
+					start: opt.Offset,
+					end:   opt.Offset + opt.Duration,
+				}
+				evs = append(evs, u.run()...)
+			}
+			out[w] = evs
+		}(w)
+	}
+	wg.Wait()
+
+	tr := trace.New()
+	for i, d := range devices {
+		tr.Device[cp.UEID(i)] = d
+	}
+	n := 0
+	for _, evs := range out {
+		n += len(evs)
+	}
+	tr.Events = make([]trace.Event, 0, n)
+	for _, evs := range out {
+		tr.Events = append(tr.Events, evs...)
+	}
+	tr.Sort()
+	return tr, nil
+}
+
+// ueSim is the behavioral simulation of one UE.
+type ueSim struct {
+	ue    cp.UEID
+	p     *params
+	rng   *stats.RNG
+	start cp.Millis
+	end   cp.Millis
+
+	evs []trace.Event
+
+	actMult float64 // per-UE activity level (heavy-tailed)
+	mobMult float64 // per-UE mobility level
+
+	burstOn    bool
+	burstUntil float64 // seconds
+
+	// followWait, when positive, is a pending follow-on session's think
+	// time: the next session starts that many seconds after the last
+	// one ended, bypassing the background arrival process.
+	followWait float64
+}
+
+func (u *ueSim) emit(tSec float64, e cp.EventType) {
+	t := cp.MillisFromSeconds(tSec)
+	if t >= u.end {
+		return
+	}
+	// Monotonicity guard: behavioral delays can round to the same
+	// millisecond; nudge forward to keep per-UE event order strict.
+	if n := len(u.evs); n > 0 && t <= u.evs[n-1].T {
+		t = u.evs[n-1].T + 1
+	}
+	if t >= u.end {
+		return
+	}
+	u.evs = append(u.evs, trace.Event{T: t, UE: u.ue, Type: e})
+}
+
+// run simulates the UE over [0, end) and returns its events.
+func (u *ueSim) run() []trace.Event {
+	p := u.p
+	r := u.rng
+	u.actMult = r.Lognormal(-p.actSigma*p.actSigma/2, p.actSigma) // mean 1
+	u.mobMult = r.Lognormal(-p.mobSigma*p.mobSigma/2, p.mobSigma)
+	startSec := u.start.Seconds()
+	u.burstOn = r.Float64() < p.burstOnMean/(p.burstOnMean+p.burstOffMean)
+	u.burstUntil = u.nextBurstSwitch(startSec)
+
+	endSec := u.end.Seconds()
+	t := startSec
+	registered := r.Float64() >= p.pStartOff
+
+	if !registered {
+		t += u.offDuration(r) * r.Float64() // mid-way through an off period
+	}
+
+	for t < endSec {
+		if !registered {
+			// Powered off: wait, then attach (attach enters CONNECTED).
+			u.emit(t, cp.Attach)
+			t = u.connectedPhase(t)
+			registered = true
+			continue
+		}
+		// IDLE: race between next session, periodic TAU, and power-off.
+		// A pending follow-on session preempts the background arrival
+		// process.
+		var tSess float64
+		if u.followWait > 0 {
+			tSess = t + u.followWait
+			u.followWait = 0
+		} else {
+			tSess = t + u.sessionWait(t)
+		}
+		tTau := t + u.idleTauWait(r)
+		tOff := t + u.powerOffWait(r, t)
+		switch {
+		case tOff <= tSess && tOff <= tTau:
+			if tOff >= endSec {
+				return u.evs
+			}
+			u.emit(tOff, cp.Detach)
+			registered = false
+			t = tOff + u.offDuration(r)
+		case tTau <= tSess:
+			if tTau >= endSec {
+				return u.evs
+			}
+			// Periodic TAU in IDLE, released by an S1_CONN_REL shortly
+			// after (Fig. 5, bottom right).
+			u.emit(tTau, cp.TrackingAreaUpdate)
+			rel := tTau + math.Max(r.Lognormal(u.p.tauRelMu, u.p.tauRelSigma), 0.01)
+			u.emit(rel, cp.S1ConnRelease)
+			t = rel
+		default:
+			if tSess >= endSec {
+				return u.evs
+			}
+			u.emit(tSess, cp.ServiceRequest)
+			t = u.connectedPhase(tSess)
+		}
+	}
+	return u.evs
+}
+
+// connectedPhase simulates one CONNECTED visit beginning at tSec (the
+// connection-establishing event has already been emitted) and returns the
+// time of the S1_CONN_REL that ends it. Handovers fire at the
+// mobility-driven rate; a fraction of them cross tracking areas and are
+// followed by a TAU.
+func (u *ueSim) connectedPhase(tSec float64) float64 {
+	p := u.p
+	r := u.rng
+	var dur float64
+	if p.paretoP > 0 && r.Float64() < p.paretoP {
+		dur = r.ParetoSample(p.paretoXm, p.paretoAlpha)
+	} else {
+		dur = r.Lognormal(p.sessMu, p.sessSigma) * math.Pow(u.actMult, 0.3)
+	}
+	if dur < 1 {
+		dur = 1
+	}
+	endConn := tSec + dur
+	h := cp.MillisFromSeconds(tSec).HourOfDay()
+	hoRate := p.hoRate * p.mobility[h] * u.mobMult * weekendFactor(p, tSec)
+	t := tSec
+	if hoRate > 0 {
+		for {
+			t += r.Exp(hoRate)
+			if t >= endConn {
+				break
+			}
+			u.emit(t, cp.Handover)
+			if r.Float64() < p.tauPerHO {
+				tau := t + 0.1 + r.Float64()*2
+				if tau < endConn {
+					u.emit(tau, cp.TrackingAreaUpdate)
+					t = tau
+				}
+			}
+		}
+	}
+	u.emit(endConn, cp.S1ConnRelease)
+	// Roll the follow-on session: user behavior arrives in click trains.
+	if r.Float64() < p.followP {
+		u.followWait = r.Lognormal(p.followMu, p.followSigma)
+	}
+	return endConn
+}
+
+// sessionWait samples the time until the next session arrival from the
+// piecewise-constant rate process (diurnal envelope x per-UE activity x
+// burst phase), advancing through hour and burst-phase boundaries.
+func (u *ueSim) sessionWait(tSec float64) float64 {
+	p := u.p
+	r := u.rng
+	t := tSec
+	endSec := u.end.Seconds()
+	// The burst clock only ticks inside this function; after a long
+	// connected phase or power-off period it lags t, and a stale
+	// burstUntil would otherwise drag the segment end — and with it the
+	// simulation clock — into the past.
+	u.advanceBurst(t)
+	for steps := 0; steps < 100000; steps++ {
+		if t >= endSec {
+			return t - tSec
+		}
+		h := cp.MillisFromSeconds(t).HourOfDay()
+		factor := p.loFactor
+		if u.burstOn {
+			factor = p.hiFactor
+		}
+		rate := p.sessRate * p.diurnal[h] * u.actMult * factor * weekendFactor(p, t)
+		segEnd := math.Min(nextHourBoundary(t), u.burstUntil)
+		if rate <= 1e-12 {
+			t = segEnd
+			u.advanceBurst(t)
+			continue
+		}
+		dt := r.Exp(rate)
+		if t+dt <= segEnd {
+			return t + dt - tSec
+		}
+		t = segEnd
+		u.advanceBurst(t)
+	}
+	return endSec - tSec
+}
+
+// weekendFactor returns the weekend activity multiplier for a time.
+func weekendFactor(p *params, tSec float64) float64 {
+	if p.weekend == 0 {
+		return 1
+	}
+	day := int(tSec/86400) % 7
+	if day < 0 {
+		day += 7
+	}
+	if day >= 5 {
+		return p.weekend
+	}
+	return 1
+}
+
+func nextHourBoundary(tSec float64) float64 {
+	h := math.Floor(tSec/3600) + 1
+	return h * 3600
+}
+
+func (u *ueSim) advanceBurst(tSec float64) {
+	for u.burstUntil <= tSec {
+		u.burstOn = !u.burstOn
+		u.burstUntil = u.nextBurstSwitch(u.burstUntil)
+	}
+}
+
+func (u *ueSim) nextBurstSwitch(fromSec float64) float64 {
+	mean := u.p.burstOffMean
+	if u.burstOn {
+		mean = u.p.burstOnMean
+	}
+	return fromSec + u.rng.Exp(1/mean)
+}
+
+func (u *ueSim) idleTauWait(r *stats.RNG) float64 {
+	return r.Lognormal(u.p.idleTauMu, u.p.idleTauSigma)
+}
+
+func (u *ueSim) powerOffWait(r *stats.RNG, tSec float64) float64 {
+	if u.p.offRate <= 0 {
+		return math.Inf(1)
+	}
+	// Power-off is diurnal too: devices switch off mostly when activity
+	// winds down (night for phones, after the commute for cars), which
+	// also keeps the REGISTERED sojourn away from a pure exponential.
+	h := cp.MillisFromSeconds(tSec).HourOfDay()
+	rate := u.p.offRate * (1.6 - 1.2*u.p.diurnal[h])
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return r.Exp(rate)
+}
+
+func (u *ueSim) offDuration(r *stats.RNG) float64 {
+	return r.Lognormal(u.p.offDurMu, u.p.offDurSigma)
+}

@@ -1,0 +1,147 @@
+// Package cptraffic models and generates control-plane traffic for
+// cellular networks, reproducing the system of "Modeling and Generating
+// Control-Plane Traffic for Cellular Networks" (ACM IMC 2023).
+//
+// The package is the public facade over the implementation packages:
+//
+//   - a two-level hierarchical state-machine Semi-Markov traffic model
+//     fitted per (UE cluster, hour-of-day, device type), with empirical
+//     CDF sojourn distributions and adaptive quadtree UE clustering;
+//   - a per-UE trace generator that synthesizes labeled control-plane
+//     traces for arbitrary UE populations, for LTE and for 5G NSA/SA;
+//   - the comparison methods of the paper's Table 3 (Poisson baselines);
+//   - a behavioral "world" simulator that substitutes for proprietary
+//     carrier traces;
+//   - trace evaluation: breakdowns, per-UE CDF distances, goodness-of-fit
+//     sweeps.
+//
+// Quick start:
+//
+//	world, _ := cptraffic.SimulateWorld(cptraffic.WorldOptions{
+//		NumUEs: 1000, Duration: cptraffic.Day, Seed: 1,
+//	})
+//	model, _ := cptraffic.FitModel(world, "ours", cptraffic.ClusterOptions{ThetaN: 50})
+//	trace, _ := cptraffic.GenerateTraffic(model, cptraffic.GenOptions{
+//		NumUEs: 10000, StartHour: 18, Duration: cptraffic.Hour, Seed: 2,
+//	})
+//
+// See the runnable programs under examples/ and the experiment index in
+// DESIGN.md.
+package cptraffic
+
+import (
+	"io"
+
+	"cptraffic/internal/baseline"
+	"cptraffic/internal/cluster"
+	"cptraffic/internal/core"
+	"cptraffic/internal/cp"
+	"cptraffic/internal/fiveg"
+	"cptraffic/internal/trace"
+	"cptraffic/internal/world"
+)
+
+// Time base re-exports.
+type Millis = cp.Millis
+
+// Common durations in the Millis time base.
+const (
+	Second = cp.Second
+	Minute = cp.Minute
+	Hour   = cp.Hour
+	Day    = cp.Day
+	Week   = cp.Week
+)
+
+// Control-plane vocabulary re-exports.
+type (
+	// EventType is one of the six LTE control-plane event types.
+	EventType = cp.EventType
+	// DeviceType is phone, connected car, or tablet.
+	DeviceType = cp.DeviceType
+	// UEID labels a User Equipment within a trace.
+	UEID = cp.UEID
+)
+
+// Event types (paper Table 1).
+const (
+	Attach             = cp.Attach
+	Detach             = cp.Detach
+	ServiceRequest     = cp.ServiceRequest
+	S1ConnRelease      = cp.S1ConnRelease
+	Handover           = cp.Handover
+	TrackingAreaUpdate = cp.TrackingAreaUpdate
+)
+
+// Device types.
+const (
+	Phone        = cp.Phone
+	ConnectedCar = cp.ConnectedCar
+	Tablet       = cp.Tablet
+)
+
+// Trace is a UE-labeled control-plane event trace.
+type Trace = trace.Trace
+
+// TraceEvent is a single timestamped, UE-labeled control event.
+type TraceEvent = trace.Event
+
+// ReadTrace parses the line-oriented trace format.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.ReadTrace(r) }
+
+// WriteTrace serializes a trace.
+func WriteTrace(w io.Writer, tr *Trace) error { return trace.WriteTrace(w, tr) }
+
+// WorldOptions configures the ground-truth behavioral simulator.
+type WorldOptions = world.Options
+
+// SimulateWorld synthesizes a carrier-style ground-truth trace from the
+// behavioral UE simulator (the stand-in for a production collection).
+func SimulateWorld(opt WorldOptions) (*Trace, error) { return world.Generate(opt) }
+
+// Model is a fitted control-plane traffic model.
+type Model = core.ModelSet
+
+// ClusterOptions configures the adaptive quadtree clustering (§5.3):
+// ThetaF is the per-feature similarity threshold (default 5), ThetaN the
+// minimum cluster size (default 1000; scale it with the population).
+type ClusterOptions = cluster.Options
+
+// Methods lists the supported modeling methods: "base", "v1", "v2" (the
+// paper's comparison methods, Table 3) and "ours" (the contribution).
+func Methods() []string { return append([]string(nil), baseline.Methods...) }
+
+// FitModel estimates a traffic model from a trace using the named method.
+func FitModel(tr *Trace, method string, co ClusterOptions) (*Model, error) {
+	opt, err := baseline.Options(method, co)
+	if err != nil {
+		return nil, err
+	}
+	return core.Fit(tr, opt)
+}
+
+// LoadModel reads a model saved with (*Model).Save.
+func LoadModel(r io.Reader) (*Model, error) { return core.Load(r) }
+
+// GenOptions configures trace synthesis.
+type GenOptions = core.GenOptions
+
+// GenerateTraffic synthesizes a control-plane trace for any population
+// size by running one per-UE semi-Markov generator per UE (§7).
+func GenerateTraffic(ms *Model, opt GenOptions) (*Trace, error) {
+	return core.Generate(ms, opt)
+}
+
+// 5G handover scaling factors (paper §6 and §8.2).
+const (
+	NSAHandoverFactor = fiveg.NSAHandoverFactor
+	SAHandoverFactor  = fiveg.SAHandoverFactor
+)
+
+// AdaptToNSA derives a 5G non-standalone model from a fitted LTE model
+// (same machine, handover frequency scaled).
+func AdaptToNSA(ms *Model, hoFactor float64) (*Model, error) { return fiveg.ToNSA(ms, hoFactor) }
+
+// AdaptToSA derives a 5G standalone model (Fig. 6 machine, TAU removed,
+// handover frequency scaled).
+func AdaptToSA(ms *Model, hoFactor float64) (*Model, error) { return fiveg.ToSA(ms, hoFactor) }

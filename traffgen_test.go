@@ -1,0 +1,87 @@
+package cptraffic_test
+
+import (
+	"bytes"
+	"testing"
+
+	cptraffic "cptraffic"
+)
+
+// TestFacadeEndToEnd exercises the public API surface the README
+// advertises: world -> fit -> save/load -> generate -> 5G adapt.
+func TestFacadeEndToEnd(t *testing.T) {
+	tr, err := cptraffic.SimulateWorld(cptraffic.WorldOptions{
+		NumUEs: 150, Duration: 3 * cptraffic.Hour, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("empty world")
+	}
+
+	var buf bytes.Buffer
+	if err := cptraffic.WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := cptraffic.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("round trip lost events: %d vs %d", back.Len(), tr.Len())
+	}
+
+	if got := cptraffic.Methods(); len(got) != 4 {
+		t.Fatalf("Methods() = %v", got)
+	}
+	model, err := cptraffic.FitModel(tr, "ours", cptraffic.ClusterOptions{ThetaN: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buf.Reset()
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := cptraffic.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	syn, err := cptraffic.GenerateTraffic(loaded, cptraffic.GenOptions{
+		NumUEs: 300, StartHour: 1, Duration: cptraffic.Hour, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.NumUEs() != 300 {
+		t.Fatalf("NumUEs = %d", syn.NumUEs())
+	}
+
+	sa, err := cptraffic.AdaptToSA(model, cptraffic.SAHandoverFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saTr, err := cptraffic.GenerateTraffic(sa, cptraffic.GenOptions{
+		NumUEs: 100, StartHour: 1, Duration: cptraffic.Hour, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := saTr.CountByType(); c[cptraffic.TrackingAreaUpdate] != 0 {
+		t.Fatal("5G SA emitted TAU")
+	}
+}
+
+func TestFacadeRejectsUnknownMethod(t *testing.T) {
+	tr, err := cptraffic.SimulateWorld(cptraffic.WorldOptions{
+		NumUEs: 10, Duration: cptraffic.Hour, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cptraffic.FitModel(tr, "nope", cptraffic.ClusterOptions{}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
