@@ -1,0 +1,35 @@
+# Development targets. `make check` is the pre-commit gate: formatting,
+# vet, build, the full test suite, and the race detector over every
+# package that runs its own goroutine pools.
+
+GO ?= go
+
+RACE_PKGS = ./internal/par/ ./internal/core/ ./internal/world/ ./internal/eval/ ./internal/experiments/
+
+.PHONY: check fmt vet build test race bench experiments
+
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The fitting, generation, simulation, and pass-rate pipelines all fan
+# out over worker pools; any change to them must stay race-clean.
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .
+
+experiments:
+	$(GO) run ./cmd/experiments

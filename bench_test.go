@@ -11,6 +11,7 @@ package cptraffic_test
 // ns/op measure the experiment's analysis work, not refitting.
 
 import (
+	"fmt"
 	"io"
 	"sync"
 	"testing"
@@ -18,6 +19,7 @@ import (
 	"cptraffic/internal/cluster"
 	"cptraffic/internal/core"
 	"cptraffic/internal/cp"
+	"cptraffic/internal/eval"
 	"cptraffic/internal/experiments"
 	"cptraffic/internal/mcn"
 	"cptraffic/internal/sm"
@@ -191,6 +193,64 @@ func BenchmarkWorldSimulator(b *testing.B) {
 		events += tr.Len()
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// BenchmarkFitParallel sweeps the fitting worker count on the Table
+// 9-scale workload (the default experiment config's training world).
+// Fitting was the last single-threaded stage of the worldgen → fitmodel
+// → traffgen → eval pipeline; the sweep documents how far the
+// per-(hour, device, cluster) fan-out scales, and the output is
+// byte-identical at every worker count (TestFitDeterministicAcrossWorkers).
+func BenchmarkFitParallel(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	tr, err := world.Generate(world.Options{
+		NumUEs:   cfg.TrainUEs,
+		Duration: cp.Millis(cfg.Days) * cp.Day,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Fit(tr, core.FitOptions{
+					Cluster: cluster.Options{ThetaN: cfg.ThetaN},
+					Workers: w,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPassRatesParallel sweeps the worker count of the Table 9
+// goodness-of-fit sweep (clustered, MLE + K-S/A² per unit), the other
+// repeated-fitting hot path.
+func BenchmarkPassRatesParallel(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	tr, err := world.Generate(world.Options{
+		NumUEs:   cfg.TrainUEs,
+		Duration: cp.Millis(cfg.Days) * cp.Day,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := eval.Table8Quantities()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eval.PassRates(tr, qs, eval.FitTestOptions{
+					Clustered:  true,
+					Cluster:    cluster.Options{ThetaN: cfg.ThetaN},
+					MinSamples: 30,
+					Workers:    w,
+				})
+			}
+		})
+	}
 }
 
 // BenchmarkModelFit measures the fitting pipeline itself.

@@ -26,10 +26,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("evalfit: ")
 	var (
-		in     = flag.String("i", "-", "input trace ('-' for stdin)")
-		exp    = flag.String("exp", "table8", "experiment: table8 | table9 | table10 | fig3 | fig4")
-		thetaN = flag.Int("thetan", 100, "clustering θn for table9/table10")
-		minN   = flag.Int("minsamples", 8, "minimum pooled sample size per tested unit")
+		in      = flag.String("i", "-", "input trace ('-' for stdin)")
+		exp     = flag.String("exp", "table8", "experiment: table8 | table9 | table10 | fig3 | fig4")
+		thetaN  = flag.Int("thetan", 100, "clustering θn for table9/table10")
+		minN    = flag.Int("minsamples", 8, "minimum pooled sample size per tested unit")
+		workers = flag.Int("workers", 0, "sweep worker count (0 = all CPUs); never changes the rates")
 	)
 	flag.Parse()
 
@@ -49,15 +50,18 @@ func main() {
 
 	switch *exp {
 	case "table8":
-		rates := eval.PassRates(tr, eval.Table8Quantities(), eval.FitTestOptions{MinSamples: *minN})
+		rates := eval.PassRates(tr, eval.Table8Quantities(), eval.FitTestOptions{
+			MinSamples: *minN, Workers: *workers})
 		renderRates(tr, "Table 8 — no clustering", eval.Table8Quantities(), rates)
 	case "table9":
 		rates := eval.PassRates(tr, eval.Table8Quantities(), eval.FitTestOptions{
-			Clustered: true, Cluster: cluster.Options{ThetaN: *thetaN}, MinSamples: *minN})
+			Clustered: true, Cluster: cluster.Options{ThetaN: *thetaN},
+			MinSamples: *minN, Workers: *workers})
 		renderRates(tr, "Table 9 — with adaptive clustering", eval.Table8Quantities(), rates)
 	case "table10":
 		rates := eval.PassRates(tr, eval.Table10Quantities(), eval.FitTestOptions{
-			Clustered: true, Cluster: cluster.Options{ThetaN: *thetaN}, MinSamples: *minN})
+			Clustered: true, Cluster: cluster.Options{ThetaN: *thetaN},
+			MinSamples: *minN, Workers: *workers})
 		renderRates(tr, "Table 10 — second-level transitions", eval.Table10Quantities(), rates)
 	case "fig3":
 		_, hi := tr.Span()

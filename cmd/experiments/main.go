@@ -56,14 +56,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		exp   = flag.String("exp", "all", "experiment id or 'all' (see DESIGN.md index)")
-		scale = flag.Float64("scale", 1, "population scale factor over the default config")
-		seed  = flag.Uint64("seed", 2023, "random seed")
+		exp     = flag.String("exp", "all", "experiment id or 'all' (see DESIGN.md index)")
+		scale   = flag.Float64("scale", 1, "population scale factor over the default config")
+		seed    = flag.Uint64("seed", 2023, "random seed")
+		workers = flag.Int("workers", 0, "worker count for every pipeline stage (0 = all CPUs); never changes results")
 	)
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	cfg.TrainUEs = int(float64(cfg.TrainUEs) * *scale)
 	cfg.Scenario1UEs = int(float64(cfg.Scenario1UEs) * *scale)
 	cfg.Scenario2UEs = int(float64(cfg.Scenario2UEs) * *scale)

@@ -23,11 +23,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fitmodel: ")
 	var (
-		in     = flag.String("i", "-", "input trace ('-' for stdin)")
-		out    = flag.String("o", "-", "output model JSON ('-' for stdout)")
-		method = flag.String("method", "ours", "modeling method: base | v1 | v2 | ours")
-		thetaN = flag.Int("thetan", 100, "adaptive clustering θn (min cluster size)")
-		thetaF = flag.Float64("thetaf", 5, "adaptive clustering θf (feature similarity)")
+		in      = flag.String("i", "-", "input trace ('-' for stdin)")
+		out     = flag.String("o", "-", "output model JSON ('-' for stdout)")
+		method  = flag.String("method", "ours", "modeling method: base | v1 | v2 | ours")
+		thetaN  = flag.Int("thetan", 100, "adaptive clustering θn (min cluster size)")
+		thetaF  = flag.Float64("thetaf", 5, "adaptive clustering θf (feature similarity)")
+		workers = flag.Int("workers", 0, "fitting worker count (0 = all CPUs); never changes the model")
 	)
 	flag.Parse()
 
@@ -53,6 +54,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	opt.Workers = *workers
 	ms, err := core.Fit(tr, opt)
 	if err != nil {
 		log.Fatal(err)

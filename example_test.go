@@ -1,6 +1,7 @@
 package cptraffic_test
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 
@@ -36,6 +37,92 @@ func Example() {
 	// synthesized UEs: 1000
 	// synthesized sorted: true
 	// machine: LTE-2LEVEL
+}
+
+// ExampleFitModel fits the paper's model on a simulated ground-truth
+// trace and inspects the result. FitModel is the common-case entry
+// point; Fit exposes the full options, including the fitting worker
+// count (the model is byte-identical for any worker count).
+func ExampleFitModel() {
+	world, err := cptraffic.SimulateWorld(cptraffic.WorldOptions{
+		NumUEs: 200, Duration: 2 * cptraffic.Hour, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := cptraffic.FitModel(world, "ours", cptraffic.ClusterOptions{ThetaN: 25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("method:", model.Method)
+	fmt.Println("machine:", model.MachineName)
+	fmt.Println("models fitted:", model.NumModels() > 0)
+	// Output:
+	// method: ours
+	// machine: LTE-2LEVEL
+	// models fitted: true
+}
+
+// ExampleGenerateTraffic completes the fit → generate round trip: a
+// model fitted on 200 simulated UEs synthesizes a busy-hour trace for a
+// 20x larger population. The output is sorted and deterministic in the
+// seed, regardless of worker count.
+func ExampleGenerateTraffic() {
+	world, err := cptraffic.SimulateWorld(cptraffic.WorldOptions{
+		NumUEs: 200, Duration: 2 * cptraffic.Hour, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := cptraffic.FitModel(world, "ours", cptraffic.ClusterOptions{ThetaN: 25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	syn, err := cptraffic.GenerateTraffic(model, cptraffic.GenOptions{
+		NumUEs: 4000, StartHour: 1, Duration: cptraffic.Hour, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("UEs:", syn.NumUEs())
+	fmt.Println("sorted:", syn.Sorted())
+	fmt.Println("has events:", syn.Len() > 0)
+	// Output:
+	// UEs: 4000
+	// sorted: true
+	// has events: true
+}
+
+// ExampleFit demonstrates the determinism contract of the parallel
+// fitting pipeline: the serialized model bytes are identical whether
+// the fit ran on one worker or eight.
+func ExampleFit() {
+	world, err := cptraffic.SimulateWorld(cptraffic.WorldOptions{
+		NumUEs: 120, Duration: 2 * cptraffic.Hour, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var serial, parallel bytes.Buffer
+	for _, cfg := range []struct {
+		workers int
+		buf     *bytes.Buffer
+	}{{1, &serial}, {8, &parallel}} {
+		m, err := cptraffic.Fit(world, cptraffic.FitOptions{
+			Method:  "ours",
+			Cluster: cptraffic.ClusterOptions{ThetaN: 25},
+			Workers: cfg.workers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Save(cfg.buf); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("byte-identical:", bytes.Equal(serial.Bytes(), parallel.Bytes()))
+	// Output:
+	// byte-identical: true
 }
 
 // ExampleAdaptToSA shows the 5G standalone adaptation: the TAU event

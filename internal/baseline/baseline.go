@@ -62,14 +62,17 @@ func Options(method string, clusterOpt cluster.Options) (core.FitOptions, error)
 	return core.FitOptions{}, fmt.Errorf("baseline: unknown method %q", method)
 }
 
-// FitAll fits all four methods on the same training trace.
-func FitAll(tr *trace.Trace, clusterOpt cluster.Options) (map[string]*core.ModelSet, error) {
+// FitAll fits all four methods on the same training trace. workers
+// bounds each fit's concurrency (0 means GOMAXPROCS); it never affects
+// the fitted models.
+func FitAll(tr *trace.Trace, clusterOpt cluster.Options, workers int) (map[string]*core.ModelSet, error) {
 	out := make(map[string]*core.ModelSet, len(Methods))
 	for _, m := range Methods {
 		opt, err := Options(m, clusterOpt)
 		if err != nil {
 			return nil, err
 		}
+		opt.Workers = workers
 		ms, err := core.Fit(tr, opt)
 		if err != nil {
 			return nil, fmt.Errorf("baseline: fitting %s: %w", m, err)

@@ -54,7 +54,7 @@ func TestFitAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	models, err := FitAll(tr, cluster.Options{ThetaN: 25})
+	models, err := FitAll(tr, cluster.Options{ThetaN: 25}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"cptraffic/internal/cluster"
 	"cptraffic/internal/cp"
+	"cptraffic/internal/par"
 	"cptraffic/internal/sm"
 	"cptraffic/internal/stats"
 	"cptraffic/internal/trace"
@@ -31,6 +32,12 @@ type FitOptions struct {
 	Cluster cluster.Options
 	// Method is a label stored in the model ("ours", "base", "v1", "v2").
 	Method string
+	// Workers bounds fitting concurrency; 0 means GOMAXPROCS. It never
+	// affects the fitted model, only the wall clock: the independent
+	// per-UE and per-(hour, cluster) fit units are distributed over the
+	// pool deterministically and merged in serial order (DESIGN.md
+	// decision 2, the same discipline as GenOptions.Workers).
+	Workers int
 }
 
 func (o FitOptions) withDefaults() FitOptions {
@@ -425,8 +432,16 @@ func (a *acc) build(m *sm.Machine, opt FitOptions) ClusterModel {
 		for k, c := range a.BotCount {
 			botTotal[k.S] += c
 		}
-		for k, soj := range a.BotSoj {
-			firedBy[k.S] = append(firedBy[k.S], soj...)
+		// Assemble each state's fired delays in fixed (state, event)
+		// order, not map order: CensoredExpMLE sums them, and float
+		// summation order must not depend on map iteration for the model
+		// bytes to be reproducible.
+		for s := 0; s < m.NumStates(); s++ {
+			for _, e := range cp.EventTypes {
+				if soj, ok := a.BotSoj[botKey{S: sm.State(s), E: e}]; ok {
+					firedBy[s] = append(firedBy[s], soj...)
+				}
+			}
 		}
 		for k, c := range a.BotCount {
 			p := float64(c) / float64(botTotal[k.S])
@@ -510,19 +525,24 @@ func fitDevice(tr *trace.Trace, d cp.DeviceType, days int, opt FitOptions) (*Dev
 	sub := tr.FilterDevice(d)
 	perUE := sub.PerUE()
 
-	// Pass 1: extract per-UE samples and features.
+	// Pass 1: extract per-UE samples and features. The UEs are
+	// independent; data[i] is written by exactly one worker, so the
+	// layout matches the serial loop for any worker count.
 	data := make([]*ueData, len(ues))
-	for i, ue := range ues {
+	par.For(len(ues), opt.Workers, func(i int) {
+		ue := ues[i]
 		evs := perUE[ue]
 		sort.Slice(evs, func(a, b int) bool { return evs[a].Before(evs[b]) })
 		data[i] = extractUE(opt.Machine, ue, evs)
-	}
+	})
 
-	// Pass 2: cluster per hour-of-day.
+	// Pass 2: cluster per hour-of-day. Hours are independent and every
+	// write is indexed by h; cluster.Partition itself is deterministic
+	// (it sorts its input by UE id).
 	assignments := make([]map[cp.UEID]int, HoursPerDay)
 	numClusters := make([]int, HoursPerDay)
 	weights := make([][]float64, HoursPerDay)
-	for h := 0; h < HoursPerDay; h++ {
+	par.For(HoursPerDay, opt.Workers, func(h int) {
 		if opt.NoClustering {
 			asg := make(map[cp.UEID]int, len(ues))
 			for _, ue := range ues {
@@ -531,7 +551,7 @@ func fitDevice(tr *trace.Trace, d cp.DeviceType, days int, opt FitOptions) (*Dev
 			assignments[h] = asg
 			numClusters[h] = 1
 			weights[h] = []float64{1}
-			continue
+			return
 		}
 		pts := make([]cluster.Point, len(ues))
 		for i, ue := range ues {
@@ -541,18 +561,22 @@ func fitDevice(tr *trace.Trace, d cp.DeviceType, days int, opt FitOptions) (*Dev
 		assignments[h] = cluster.Assignment(cs)
 		numClusters[h] = len(cs)
 		weights[h] = cluster.Weights(cs)
-	}
+	})
 
 	// Pass 3: personas (deduplicated per-UE cluster-membership vectors).
 	personas := buildPersonas(ues, assignments)
 
 	// Pass 4: accumulate samples per (hour, cluster) and fallbacks.
+	// Each hour folds its UEs in ascending order into its own
+	// accumulators and writes only dm.Hours[h], so the pooled sample
+	// orders — and therefore the fitted quantile tables — are identical
+	// to the serial ones.
 	dm := &DeviceModel{
 		Personas: personas,
 		Hours:    make([]HourModel, HoursPerDay),
 	}
 	global := newAcc()
-	for h := 0; h < HoursPerDay; h++ {
+	par.For(HoursPerDay, opt.Workers, func(h int) {
 		accs := make([]*acc, numClusters[h])
 		for c := range accs {
 			accs[c] = newAcc()
@@ -571,7 +595,7 @@ func fitDevice(tr *trace.Trace, d cp.DeviceType, days int, opt FitOptions) (*Dev
 		a := agg.build(opt.Machine, opt)
 		hm.Aggregate = &a
 		hm.Weights = weights[h]
-	}
+	})
 	for i := range ues {
 		global.addUEAll(data[i], days)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -267,6 +268,43 @@ func TestFitBaseUsesFreeProcesses(t *testing.T) {
 	for h := range dm.Hours {
 		if len(dm.Hours[h].Clusters) != 1 {
 			t.Fatalf("hour %d has %d clusters", h, len(dm.Hours[h].Clusters))
+		}
+	}
+}
+
+// TestFitDeterministicAcrossWorkers requires the serialized model to be
+// byte-identical regardless of the fitting worker count (the same
+// discipline as TestGenerateDeterministicAcrossWorkers in
+// internal/world): Workers only changes the wall clock.
+func TestFitDeterministicAcrossWorkers(t *testing.T) {
+	tr := toyTrace(t, 48, 3*cp.Hour, 7)
+	fits := []FitOptions{
+		{Cluster: clusterOptSmall()}, // "ours": two-level + quantile tables
+		{Machine: sm.EMMECM(), SojournKind: SojournExp,
+			FreeEvents:   []cp.EventType{cp.Handover, cp.TrackingAreaUpdate},
+			NoClustering: true, Method: "base"}, // exercises CensoredExpMLE summation
+	}
+	for _, base := range fits {
+		var want []byte
+		for _, w := range []int{1, 2, 8} {
+			opt := base
+			opt.Workers = w
+			ms, err := Fit(tr, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := ms.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = buf.Bytes()
+				continue
+			}
+			if !bytes.Equal(want, buf.Bytes()) {
+				t.Fatalf("method %q: model JSON differs between Workers=1 and Workers=%d (%d vs %d bytes)",
+					base.Method, w, len(want), buf.Len())
+			}
 		}
 	}
 }

@@ -4,10 +4,9 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"cptraffic/internal/cp"
+	"cptraffic/internal/par"
 	"cptraffic/internal/sm"
 	"cptraffic/internal/stats"
 	"cptraffic/internal/trace"
@@ -54,31 +53,25 @@ func Generate(ms *ModelSet, opt GenOptions) (*trace.Trace, error) {
 		return nil, err
 	}
 	out := make([][]trace.Event, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var evs []trace.Event
-			for i := w; i < len(jobs); i += workers {
-				j := jobs[i]
-				dm := ms.Device(j.dev)
-				if dm == nil {
-					continue
-				}
-				g := newUEGen(machine, dm, j.ue, j.rng, t0, end)
-				for {
-					ev, ok := g.Next()
-					if !ok {
-						break
-					}
-					evs = append(evs, ev)
-				}
+	par.Do(workers, func(w int) {
+		var evs []trace.Event
+		for i := w; i < len(jobs); i += workers {
+			j := jobs[i]
+			dm := ms.Device(j.dev)
+			if dm == nil {
+				continue
 			}
-			out[w] = evs
-		}(w)
-	}
-	wg.Wait()
+			g := newUEGen(machine, dm, j.ue, j.rng, t0, end)
+			for {
+				ev, ok := g.Next()
+				if !ok {
+					break
+				}
+				evs = append(evs, ev)
+			}
+		}
+		out[w] = evs
+	})
 
 	tr := trace.New()
 	for _, j := range jobs {
@@ -192,13 +185,7 @@ func planGeneration(ms *ModelSet, opt GenOptions) ([]genJob, *sm.Machine, cp.Mil
 	if err != nil {
 		return nil, nil, 0, 0, 0, err
 	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > opt.NumUEs {
-		workers = opt.NumUEs
-	}
+	workers := par.Workers(opt.Workers, opt.NumUEs)
 	t0 := cp.Millis(opt.StartHour) * cp.Hour
 	end := t0 + opt.Duration
 	root := stats.NewRNG(opt.Seed)

@@ -3,6 +3,7 @@ package eval
 import (
 	"cptraffic/internal/cluster"
 	"cptraffic/internal/cp"
+	"cptraffic/internal/par"
 	"cptraffic/internal/sm"
 	"cptraffic/internal/stats"
 	"cptraffic/internal/trace"
@@ -42,17 +43,26 @@ func (u *ueQuantities) features(h, days int) cluster.Features {
 }
 
 // QuantitySamples pools one quantity's samples across all hours and all
-// UEs of a device type.
+// UEs of a device type. UEs are collected concurrently and pooled in
+// ascending UE-id order, so the sample sequence — and any float
+// reduction downstream of it — is reproducible.
 func QuantitySamples(tr *trace.Trace, d cp.DeviceType, q Quantity) []float64 {
-	var out []float64
-	for ue, evs := range tr.PerUE() {
-		if tr.Device[ue] != d || len(evs) == 0 {
-			continue
+	ues := tr.UEsOfType(d)
+	perUE := tr.PerUE()
+	per := make([][]float64, len(ues))
+	par.For(len(ues), 0, func(i int) {
+		evs := perUE[ues[i]]
+		if len(evs) == 0 {
+			return
 		}
 		u := collectUE(evs)
 		for h := 0; h < 24; h++ {
-			out = append(out, u.at(h, q)...)
+			per[i] = append(per[i], u.at(h, q)...)
 		}
+	})
+	var out []float64
+	for _, xs := range per {
+		out = append(out, xs...)
 	}
 	return out
 }

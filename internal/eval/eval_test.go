@@ -283,6 +283,32 @@ func TestPassRatesClusteredRuns(t *testing.T) {
 	}
 }
 
+// TestPassRatesDeterministicAcrossWorkers requires the sweep to report
+// the same rates for any worker count — same rule as the fitting and
+// generation pipelines.
+func TestPassRatesDeterministicAcrossWorkers(t *testing.T) {
+	tr := worldTrace(t, 200, 3*cp.Hour, 11)
+	qs := Table8Quantities()
+	mk := func(w int) map[DistTest]map[cp.DeviceType]map[Quantity]float64 {
+		return PassRates(tr, qs, FitTestOptions{
+			Clustered: true, Cluster: cluster.Options{ThetaN: 30},
+			MinSamples: 8, Workers: w,
+		})
+	}
+	a, b := mk(1), mk(8)
+	for ti := 0; ti < NumDistTests; ti++ {
+		for _, d := range cp.DeviceTypes {
+			for _, q := range qs {
+				va, vb := a[DistTest(ti)][d][q], b[DistTest(ti)][d][q]
+				if va != vb && !(math.IsNaN(va) && math.IsNaN(vb)) {
+					t.Fatalf("%v/%v/%v: rate %v with Workers=1 vs %v with Workers=8",
+						DistTest(ti), d, q, va, vb)
+				}
+			}
+		}
+	}
+}
+
 func TestVarianceTimeForBurstierThanPoisson(t *testing.T) {
 	tr := worldTrace(t, 400, 12*cp.Hour, 9)
 	phones := UESet(tr.UEsOfType(cp.Phone))

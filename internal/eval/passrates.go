@@ -6,6 +6,7 @@ import (
 
 	"cptraffic/internal/cluster"
 	"cptraffic/internal/cp"
+	"cptraffic/internal/par"
 	"cptraffic/internal/sm"
 	"cptraffic/internal/stats"
 	"cptraffic/internal/trace"
@@ -191,6 +192,12 @@ type FitTestOptions struct {
 	// MinSamples is the smallest pooled sample a unit needs to be
 	// tested (default 8).
 	MinSamples int
+	// Workers bounds sweep concurrency; 0 means GOMAXPROCS. The
+	// independent per-UE collections, per-hour clusterings, and
+	// per-(hour, group) test units are distributed over the pool and
+	// reduced in deterministic order, so the worker count never changes
+	// the reported rates.
+	Workers int
 }
 
 // PassRates runs the goodness-of-fit sweep: for every (device type,
@@ -223,10 +230,55 @@ func PassRates(tr *trace.Trace, quantities []Quantity, opt FitTestOptions) map[D
 		sub := tr.FilterDevice(d)
 		perUE := sub.PerUE()
 		data := make([]*ueQuantities, len(ues))
-		for i, ue := range ues {
-			data[i] = collectUE(perUE[ue])
-		}
+		par.For(len(ues), opt.Workers, func(i int) {
+			data[i] = collectUE(perUE[ues[i]])
+		})
 		groups := groupUEs(ues, data, days, opt)
+
+		// Every (hour, UE group) is an independent test unit: pool the
+		// group's samples, fit, test. Units run across the worker pool;
+		// each writes only its own verdict slot, and the tallies are
+		// reduced serially afterwards, so the rates match the serial
+		// sweep exactly.
+		type unit struct {
+			h int
+			g []int
+		}
+		var units []unit
+		for h := 0; h < 24; h++ {
+			for _, g := range groups[h] {
+				units = append(units, unit{h: h, g: g})
+			}
+		}
+		// verdicts[u][qi*NumDistTests+t]: -1 untested, 0 fail, 1 pass.
+		verdicts := make([][]int8, len(units))
+		par.For(len(units), opt.Workers, func(u int) {
+			v := make([]int8, len(quantities)*NumDistTests)
+			for i := range v {
+				v[i] = -1
+			}
+			for qi, q := range quantities {
+				var xs []float64
+				for _, i := range units[u].g {
+					xs = append(xs, data[i].at(units[u].h, q)...)
+				}
+				if len(xs) < opt.MinSamples {
+					continue
+				}
+				for t := 0; t < NumDistTests; t++ {
+					pass, ok := runTest(DistTest(t), xs)
+					if !ok {
+						continue
+					}
+					if pass {
+						v[qi*NumDistTests+t] = 1
+					} else {
+						v[qi*NumDistTests+t] = 0
+					}
+				}
+			}
+			verdicts[u] = v
+		})
 
 		// pass[test][quantity] = (passed units, tested units)
 		type tally struct{ pass, total int }
@@ -237,27 +289,17 @@ func PassRates(tr *trace.Trace, quantities []Quantity, opt FitTestOptions) map[D
 				tallies[DistTest(t)][q] = &tally{}
 			}
 		}
-
-		for h := 0; h < 24; h++ {
-			for _, g := range groups[h] {
-				for _, q := range quantities {
-					var xs []float64
-					for _, i := range g {
-						xs = append(xs, data[i].at(h, q)...)
-					}
-					if len(xs) < opt.MinSamples {
+		for _, v := range verdicts {
+			for qi, q := range quantities {
+				for t := 0; t < NumDistTests; t++ {
+					verdict := v[qi*NumDistTests+t]
+					if verdict < 0 {
 						continue
 					}
-					for t := 0; t < NumDistTests; t++ {
-						pass, ok := runTest(DistTest(t), xs)
-						if !ok {
-							continue
-						}
-						tl := tallies[DistTest(t)][q]
-						tl.total++
-						if pass {
-							tl.pass++
-						}
+					tl := tallies[DistTest(t)][q]
+					tl.total++
+					if verdict == 1 {
+						tl.pass++
 					}
 				}
 			}
@@ -295,7 +337,7 @@ func groupUEs(ues []cp.UEID, data []*ueQuantities, days int, opt FitTestOptions)
 	for i, ue := range ues {
 		pos[ue] = i
 	}
-	for h := 0; h < 24; h++ {
+	par.For(24, opt.Workers, func(h int) {
 		pts := make([]cluster.Point, len(ues))
 		for i, ue := range ues {
 			pts[i] = cluster.Point{UE: ue, F: data[i].features(h, days)}
@@ -308,6 +350,6 @@ func groupUEs(ues []cp.UEID, data []*ueQuantities, days int, opt FitTestOptions)
 			}
 			out[h] = append(out[h], idxs)
 		}
-	}
+	})
 	return out
 }

@@ -39,6 +39,7 @@ func AblationClusterThresholds(l *Lab, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		opt.Workers = l.Cfg.Workers
 		ms, err := core.Fit(train, opt)
 		if err != nil {
 			return err
@@ -48,6 +49,7 @@ func AblationClusterThresholds(l *Lab, w io.Writer) error {
 			StartHour: l.Cfg.BusyHour,
 			Duration:  cp.Hour,
 			Seed:      l.Cfg.Seed + 555,
+			Workers:   l.Cfg.Workers,
 		})
 		if err != nil {
 			return err

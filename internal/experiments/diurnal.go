@@ -31,6 +31,7 @@ func DiurnalFidelity(l *Lab, w io.Writer) error {
 		StartHour: 0,
 		Duration:  cp.Day,
 		Seed:      l.Cfg.Seed + 1313,
+		Workers:   l.Cfg.Workers,
 	})
 	if err != nil {
 		return err
@@ -39,6 +40,7 @@ func DiurnalFidelity(l *Lab, w io.Writer) error {
 		NumUEs:   n,
 		Duration: cp.Day,
 		Seed:     l.Cfg.Seed + 1414,
+		Workers:  l.Cfg.Workers,
 	})
 	if err != nil {
 		return err
@@ -76,11 +78,12 @@ func DiurnalCorrelation(l *Lab) (float64, error) {
 	n := l.Cfg.Scenario1UEs
 	gen, err := core.Generate(ms, core.GenOptions{
 		NumUEs: n, StartHour: 0, Duration: cp.Day, Seed: l.Cfg.Seed + 1313,
+		Workers: l.Cfg.Workers,
 	})
 	if err != nil {
 		return 0, err
 	}
-	real, err := world.Generate(world.Options{NumUEs: n, Duration: cp.Day, Seed: l.Cfg.Seed + 1414})
+	real, err := world.Generate(world.Options{NumUEs: n, Duration: cp.Day, Seed: l.Cfg.Seed + 1414, Workers: l.Cfg.Workers})
 	if err != nil {
 		return 0, err
 	}

@@ -99,7 +99,7 @@ func Table8(l *Lab, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	rates := eval.PassRates(tr, eval.Table8Quantities(), eval.FitTestOptions{MinSamples: 30})
+	rates := eval.PassRates(tr, eval.Table8Quantities(), eval.FitTestOptions{MinSamples: 30, Workers: l.Cfg.Workers})
 	return passRateTable(w, "Table 8 — % of 1-hour intervals passing, no clustering",
 		eval.Table8Quantities(), rates)
 }
@@ -111,7 +111,7 @@ func Table9(l *Lab, w io.Writer) error {
 		return err
 	}
 	rates := eval.PassRates(tr, eval.Table8Quantities(),
-		eval.FitTestOptions{Clustered: true, Cluster: l.ClusterOptions(), MinSamples: 30})
+		eval.FitTestOptions{Clustered: true, Cluster: l.ClusterOptions(), MinSamples: 30, Workers: l.Cfg.Workers})
 	return passRateTable(w, "Table 9 — % of 1-hour intervals passing, with adaptive clustering",
 		eval.Table8Quantities(), rates)
 }
@@ -123,7 +123,7 @@ func Table10(l *Lab, w io.Writer) error {
 		return err
 	}
 	rates := eval.PassRates(tr, eval.Table10Quantities(),
-		eval.FitTestOptions{Clustered: true, Cluster: l.ClusterOptions(), MinSamples: 30})
+		eval.FitTestOptions{Clustered: true, Cluster: l.ClusterOptions(), MinSamples: 30, Workers: l.Cfg.Workers})
 	return passRateTable(w, "Table 10 — % of intervals passing, second-level transitions",
 		eval.Table10Quantities(), rates)
 }
@@ -139,7 +139,7 @@ func PoissonPassRate(l *Lab, q eval.Quantity) (float64, error) {
 	// Only well-powered units count: K-S cannot reject anything on a
 	// handful of samples, and the paper's units pooled thousands.
 	rates := eval.PassRates(tr, []eval.Quantity{q},
-		eval.FitTestOptions{Clustered: true, Cluster: l.ClusterOptions(), MinSamples: 40})
+		eval.FitTestOptions{Clustered: true, Cluster: l.ClusterOptions(), MinSamples: 40, Workers: l.Cfg.Workers})
 	var sum float64
 	n := 0
 	for _, d := range cp.DeviceTypes {

@@ -39,6 +39,7 @@ func GrowthProjection(l *Lab, w io.Writer) error {
 			Duration:  cp.Hour,
 			Seed:      l.Cfg.Seed + 888 + uint64(st.scale),
 			DeviceMix: mix,
+			Workers:   l.Cfg.Workers,
 		})
 		if err != nil {
 			return err

@@ -39,6 +39,10 @@ type Config struct {
 	ThetaN int
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers bounds the concurrency of every pipeline stage (world
+	// simulation, fitting, generation, pass-rate sweeps); 0 means
+	// GOMAXPROCS. Results are identical for any value.
+	Workers int
 }
 
 // DefaultConfig returns a laptop-scale configuration: ~1/50 of the
@@ -90,6 +94,7 @@ func (l *Lab) Train() (*trace.Trace, error) {
 			NumUEs:   l.Cfg.TrainUEs,
 			Duration: cp.Millis(l.Cfg.Days) * cp.Day,
 			Seed:     l.Cfg.Seed,
+			Workers:  l.Cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -124,6 +129,7 @@ func (l *Lab) RealScenario(n int) (*trace.Trace, error) {
 			Duration: warmup + cp.Hour,
 			Offset:   h - warmup,
 			Seed:     seed,
+			Workers:  l.Cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -142,7 +148,7 @@ func (l *Lab) Models() (map[string]*core.ModelSet, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.models == nil {
-		ms, err := baseline.FitAll(l.train, cluster.Options{ThetaN: l.Cfg.ThetaN})
+		ms, err := baseline.FitAll(l.train, cluster.Options{ThetaN: l.Cfg.ThetaN}, l.Cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -178,6 +184,7 @@ func (l *Lab) Generated(method string, scenario int) (*trace.Trace, error) {
 		StartHour: l.Cfg.BusyHour,
 		Duration:  cp.Hour,
 		Seed:      l.Cfg.Seed + 999 + uint64(scenario),
+		Workers:   l.Cfg.Workers,
 	})
 	if err != nil {
 		return nil, err

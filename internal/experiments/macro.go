@@ -120,6 +120,7 @@ func Table7(l *Lab, w io.Writer) error {
 		StartHour: 8,
 		Duration:  12 * cp.Hour,
 		Seed:      l.Cfg.Seed + 77,
+		Workers:   l.Cfg.Workers,
 	}
 	traces := map[string]*core.ModelSet{"LTE": lte, "NSA": nsa, "SA": sa}
 	shares := map[string][cp.NumDeviceTypes][cp.NumEventTypes]float64{}
@@ -170,6 +171,7 @@ func FiveGShares(l *Lab) (lteHO, nsaHO, saHO float64, err error) {
 	}
 	genOpt := core.GenOptions{
 		NumUEs: l.Cfg.Scenario1UEs, StartHour: 8, Duration: 4 * cp.Hour, Seed: l.Cfg.Seed + 78,
+		Workers: l.Cfg.Workers,
 	}
 	hoShare := func(ms *core.ModelSet) (float64, error) {
 		tr, err := core.Generate(ms, genOpt)

@@ -1,0 +1,73 @@
+// Package par provides the deterministic worker-pool primitives shared
+// by the simulation, fitting, generation, and evaluation pipelines.
+//
+// Every pipeline in this repo obeys one discipline (DESIGN.md decision
+// 2): the worker count changes only the wall clock, never the output.
+// The helpers here make that easy to uphold — For distributes loop
+// indices statically, so a caller that writes results into slots
+// indexed by the loop variable produces exactly the layout the serial
+// loop would, and any order-sensitive reduction is then done serially
+// over those slots.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count option: values <= 0 mean GOMAXPROCS,
+// and the result never exceeds n (the number of independent tasks) nor
+// falls below 1.
+func Workers(opt, n int) int {
+	w := opt
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Do runs fn(w) for every worker w in [0, workers) on its own goroutine
+// and waits for all of them. workers <= 1 runs fn(0) inline.
+func Do(workers int, fn func(w int)) {
+	if workers <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// For runs fn(i) for every i in [0, n), strided across Workers(workers,
+// n) goroutines: worker w handles i = w, w+W, w+2W, … Each index runs
+// exactly once; writes indexed by i therefore land exactly where the
+// serial loop would put them, regardless of the worker count.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	Do(w, func(wi int) {
+		for i := wi; i < n; i += w {
+			fn(i)
+		}
+	})
+}

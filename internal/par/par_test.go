@@ -1,0 +1,90 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		opt, n, want int
+	}{
+		{0, 1000, max},
+		{-3, 1000, max},
+		{4, 1000, 4},
+		{8, 3, 3},
+		{0, 0, 1},
+		{5, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.opt, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.opt, c.n, got, c.want)
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 64} {
+		const n = 100
+		counts := make([]int32, n)
+		For(n, workers, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForIndexedWritesMatchSerial(t *testing.T) {
+	const n = 257
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 5, 16} {
+		got := make([]int, n)
+		For(n, workers, func(i int) { got[i] = i * i })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEmpty(t *testing.T) {
+	called := false
+	For(0, 8, func(int) { called = true })
+	if called {
+		t.Fatal("For(0, ...) invoked its body")
+	}
+}
+
+func TestDoRunsEachWorker(t *testing.T) {
+	const workers = 9
+	var ran [workers]int32
+	Do(workers, func(w int) { atomic.AddInt32(&ran[w], 1) })
+	for w, c := range ran {
+		if c != 1 {
+			t.Fatalf("worker %d ran %d times", w, c)
+		}
+	}
+}
+
+func TestDoSingleInline(t *testing.T) {
+	hit := 0
+	Do(1, func(w int) {
+		if w != 0 {
+			t.Fatalf("w = %d", w)
+		}
+		hit++
+	})
+	if hit != 1 {
+		t.Fatalf("fn ran %d times", hit)
+	}
+}

@@ -3,10 +3,9 @@ package world
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"cptraffic/internal/cp"
+	"cptraffic/internal/par"
 	"cptraffic/internal/stats"
 	"cptraffic/internal/trace"
 )
@@ -64,13 +63,7 @@ func Generate(opt Options) (*trace.Trace, error) {
 		}
 	}
 
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > opt.NumUEs {
-		workers = opt.NumUEs
-	}
+	workers := par.Workers(opt.Workers, opt.NumUEs)
 
 	root := stats.NewRNG(opt.Seed)
 	devices := make([]cp.DeviceType, opt.NumUEs)
@@ -91,26 +84,20 @@ func Generate(opt Options) (*trace.Trace, error) {
 	}
 
 	out := make([][]trace.Event, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var evs []trace.Event
-			for i := w; i < opt.NumUEs; i += workers {
-				u := ueSim{
-					ue:    cp.UEID(i),
-					p:     &deviceParams[devices[i]],
-					rng:   rngs[i],
-					start: opt.Offset,
-					end:   opt.Offset + opt.Duration,
-				}
-				evs = append(evs, u.run()...)
+	par.Do(workers, func(w int) {
+		var evs []trace.Event
+		for i := w; i < opt.NumUEs; i += workers {
+			u := ueSim{
+				ue:    cp.UEID(i),
+				p:     &deviceParams[devices[i]],
+				rng:   rngs[i],
+				start: opt.Offset,
+				end:   opt.Offset + opt.Duration,
 			}
-			out[w] = evs
-		}(w)
-	}
-	wg.Wait()
+			evs = append(evs, u.run()...)
+		}
+		out[w] = evs
+	})
 
 	tr := trace.New()
 	for i, d := range devices {

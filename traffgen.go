@@ -111,13 +111,37 @@ type ClusterOptions = cluster.Options
 // paper's comparison methods, Table 3) and "ours" (the contribution).
 func Methods() []string { return append([]string(nil), baseline.Methods...) }
 
-// FitModel estimates a traffic model from a trace using the named method.
-func FitModel(tr *Trace, method string, co ClusterOptions) (*Model, error) {
-	opt, err := baseline.Options(method, co)
+// FitOptions configures Fit beyond the per-method defaults.
+type FitOptions struct {
+	// Method is one of Methods(): "base", "v1", "v2" or "ours"
+	// (default).
+	Method string
+	// Cluster configures the adaptive clustering (§5.3).
+	Cluster ClusterOptions
+	// Workers bounds fitting concurrency; 0 means GOMAXPROCS. The
+	// fitted model is byte-identical for any worker count — Workers
+	// only changes the wall clock.
+	Workers int
+}
+
+// Fit estimates a traffic model from a trace with explicit control over
+// the fitting pipeline; FitModel is the common-case shorthand.
+func Fit(tr *Trace, opt FitOptions) (*Model, error) {
+	method := opt.Method
+	if method == "" {
+		method = "ours"
+	}
+	copt, err := baseline.Options(method, opt.Cluster)
 	if err != nil {
 		return nil, err
 	}
-	return core.Fit(tr, opt)
+	copt.Workers = opt.Workers
+	return core.Fit(tr, copt)
+}
+
+// FitModel estimates a traffic model from a trace using the named method.
+func FitModel(tr *Trace, method string, co ClusterOptions) (*Model, error) {
+	return Fit(tr, FitOptions{Method: method, Cluster: co})
 }
 
 // LoadModel reads a model saved with (*Model).Save.
