@@ -4,7 +4,7 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/par/ ./internal/core/ ./internal/world/ ./internal/eval/ ./internal/experiments/
+RACE_PKGS = ./internal/par/ ./internal/trace/ ./internal/core/ ./internal/world/ ./internal/eval/ ./internal/experiments/
 
 .PHONY: check fmt vet build test race bench experiments
 

@@ -11,6 +11,7 @@ package cptraffic_test
 // ns/op measure the experiment's analysis work, not refitting.
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"cptraffic/internal/experiments"
 	"cptraffic/internal/mcn"
 	"cptraffic/internal/sm"
+	"cptraffic/internal/trace"
 	"cptraffic/internal/world"
 )
 
@@ -265,6 +267,70 @@ func BenchmarkModelFit(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFitStream measures the single-pass bounded-memory fit on the
+// same workload as BenchmarkModelFit, so the two are directly
+// comparable — the streamed fold produces a byte-identical model
+// (TestFitStreamMatchesInMemory) for a lower peak heap.
+func BenchmarkFitStream(b *testing.B) {
+	tr, err := world.Generate(world.Options{NumUEs: 400, Duration: cp.Day, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FitStream(tr, core.FitOptions{Cluster: cluster.Options{ThetaN: 40}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScanner measures the incremental binary-trace decoder's
+// event throughput against the monolithic reader on the same bytes.
+func BenchmarkScanner(b *testing.B) {
+	tr, err := world.Generate(world.Options{NumUEs: 500, Duration: cp.Hour * 12, Seed: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteBinaryTrace(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.Run("scanner", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(raw)))
+		for i := 0; i < b.N; i++ {
+			sc, err := trace.NewScanner(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			for sc.Scan() {
+				n++
+			}
+			if err := sc.Err(); err != nil {
+				b.Fatal(err)
+			}
+			if n != tr.Len() {
+				b.Fatalf("scanned %d events, want %d", n, tr.Len())
+			}
+		}
+	})
+	b.Run("monolithic", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(raw)))
+		for i := 0; i < b.N; i++ {
+			got, err := trace.ReadBinaryTrace(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got.Len() != tr.Len() {
+				b.Fatalf("read %d events, want %d", got.Len(), tr.Len())
+			}
+		}
+	})
 }
 
 // BenchmarkMMEThroughput measures how fast the simulated core consumes

@@ -6,6 +6,12 @@
 //
 //	evalfit -i world.trace -exp table8
 //	evalfit -i world.trace -exp fig3 > fig3.csv
+//	evalfit -i big.trace -exp table9 -stream
+//
+// With -stream the per-UE quantities are gathered in one incremental
+// pass over the trace file instead of loading it, producing identical
+// tables (fig3 still materializes the trace — its variance-time curves
+// need random access to the event series). -stream requires a file path.
 package main
 
 import (
@@ -31,48 +37,101 @@ func main() {
 		thetaN  = flag.Int("thetan", 100, "clustering θn for table9/table10")
 		minN    = flag.Int("minsamples", 8, "minimum pooled sample size per tested unit")
 		workers = flag.Int("workers", 0, "sweep worker count (0 = all CPUs); never changes the rates")
+		stream  = flag.Bool("stream", false, "collect quantities by scanning the trace file incrementally (identical results)")
 	)
 	flag.Parse()
 
-	r := os.Stdin
-	if *in != "-" {
-		f, err := os.Open(*in)
+	// Both paths expose the trace as an EventSource; -stream keeps it
+	// on disk, otherwise it is parsed once up front. The experiments
+	// that can run incrementally never call loadTrace.
+	var src trace.EventSource
+	var tr *trace.Trace
+	if *stream {
+		if *in == "-" {
+			log.Fatal("-stream needs a seekable trace file; -i - (stdin) cannot be scanned twice")
+		}
+		fileSrc, err := trace.NewFileSource(*in)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		r = f
+		src = fileSrc
+	} else {
+		r := os.Stdin
+		if *in != "-" {
+			f, err := os.Open(*in)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			r = f
+		}
+		loaded, err := trace.ReadAuto(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, src = loaded, loaded
 	}
-	tr, err := trace.ReadAuto(r)
-	if err != nil {
-		log.Fatal(err)
+	loadTrace := func() *trace.Trace {
+		if tr == nil {
+			fmt.Fprintln(os.Stderr, "evalfit: fig3 needs the full event series; materializing the trace")
+			loaded, err := trace.Collect(src)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tr = loaded
+		}
+		return tr
+	}
+
+	sweep := func(quantities []eval.Quantity, opt eval.FitTestOptions) map[eval.DistTest]map[cp.DeviceType]map[eval.Quantity]float64 {
+		if *stream {
+			rates, err := eval.PassRatesSource(src, quantities, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return rates
+		}
+		return eval.PassRates(tr, quantities, opt)
+	}
+	samples := func(q eval.Quantity) []float64 {
+		if *stream {
+			xs, err := eval.QuantitySamplesSource(src, cp.Phone, q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return xs
+		}
+		return eval.QuantitySamples(tr, cp.Phone, q)
 	}
 
 	switch *exp {
 	case "table8":
-		rates := eval.PassRates(tr, eval.Table8Quantities(), eval.FitTestOptions{
-			MinSamples: *minN, Workers: *workers})
-		renderRates(tr, "Table 8 — no clustering", eval.Table8Quantities(), rates)
+		qs := eval.Table8Quantities()
+		renderRates("Table 8 — no clustering", qs,
+			sweep(qs, eval.FitTestOptions{MinSamples: *minN, Workers: *workers}))
 	case "table9":
-		rates := eval.PassRates(tr, eval.Table8Quantities(), eval.FitTestOptions{
-			Clustered: true, Cluster: cluster.Options{ThetaN: *thetaN},
-			MinSamples: *minN, Workers: *workers})
-		renderRates(tr, "Table 9 — with adaptive clustering", eval.Table8Quantities(), rates)
+		qs := eval.Table8Quantities()
+		renderRates("Table 9 — with adaptive clustering", qs,
+			sweep(qs, eval.FitTestOptions{
+				Clustered: true, Cluster: cluster.Options{ThetaN: *thetaN},
+				MinSamples: *minN, Workers: *workers}))
 	case "table10":
-		rates := eval.PassRates(tr, eval.Table10Quantities(), eval.FitTestOptions{
-			Clustered: true, Cluster: cluster.Options{ThetaN: *thetaN},
-			MinSamples: *minN, Workers: *workers})
-		renderRates(tr, "Table 10 — second-level transitions", eval.Table10Quantities(), rates)
+		qs := eval.Table10Quantities()
+		renderRates("Table 10 — second-level transitions", qs,
+			sweep(qs, eval.FitTestOptions{
+				Clustered: true, Cluster: cluster.Options{ThetaN: *thetaN},
+				MinSamples: *minN, Workers: *workers}))
 	case "fig3":
-		_, hi := tr.Span()
+		full := loadTrace()
+		_, hi := full.Span()
 		for _, q := range []eval.Quantity{
 			{Kind: eval.QStateSojourn, State: cp.StateConnected},
 			{Kind: eval.QStateSojourn, State: cp.StateIdle},
 			{Kind: eval.QInterArrival, Event: cp.Handover},
 			{Kind: eval.QInterArrival, Event: cp.TrackingAreaUpdate},
 		} {
-			phones := eval.UESet(tr.UEsOfType(cp.Phone))
-			vt := eval.VarianceTimeFor(tr, phones, q, hi)
+			phones := eval.UESet(full.UEsOfType(cp.Phone))
+			vt := eval.VarianceTimeFor(full, phones, q, hi)
 			fmt.Printf("# Figure 3 — %s (phones), mean log10 gap = %.2f\n", q, vt.LogGap)
 			scales := make([]float64, len(vt.Observed))
 			obs := make([]float64, len(vt.Observed))
@@ -93,7 +152,7 @@ func main() {
 			{Kind: eval.QInterArrival, Event: cp.Handover},
 			{Kind: eval.QInterArrival, Event: cp.TrackingAreaUpdate},
 		} {
-			xs := eval.QuantitySamples(tr, cp.Phone, q)
+			xs := samples(q)
 			if len(xs) < 2 {
 				continue
 			}
@@ -113,7 +172,10 @@ func main() {
 	}
 }
 
-func renderRates(tr *trace.Trace, title string, qs []eval.Quantity,
+// renderRates prints one sweep's table. Devices absent from the trace
+// have no rate entries at all, so presence is read off the rates map
+// instead of needing the trace.
+func renderRates(title string, qs []eval.Quantity,
 	rates map[eval.DistTest]map[cp.DeviceType]map[eval.Quantity]float64) {
 	header := []string{"Test", "Device"}
 	for _, q := range qs {
@@ -122,7 +184,7 @@ func renderRates(tr *trace.Trace, title string, qs []eval.Quantity,
 	tbl := report.Table{Title: title, Header: header}
 	for t := 0; t < eval.NumDistTests; t++ {
 		for _, d := range cp.DeviceTypes {
-			if len(tr.UEsOfType(d)) == 0 {
+			if len(rates[eval.DistTest(t)][d]) == 0 {
 				continue
 			}
 			row := []string{eval.DistTest(t).String(), d.String()}

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	fitmodel -method ours -thetan 100 -i world.trace -o model.json
+//	fitmodel -stream -i big.trace -o model.json
+//
+// With -stream the trace file is scanned incrementally (two passes)
+// instead of loaded, so peak memory is bounded by the per-UE sample
+// accumulators rather than the event list; the fitted model is
+// byte-identical. -stream requires a file path (-i -, stdin, is not
+// re-readable).
 package main
 
 import (
@@ -29,22 +36,9 @@ func main() {
 		thetaN  = flag.Int("thetan", 100, "adaptive clustering θn (min cluster size)")
 		thetaF  = flag.Float64("thetaf", 5, "adaptive clustering θf (feature similarity)")
 		workers = flag.Int("workers", 0, "fitting worker count (0 = all CPUs); never changes the model")
+		stream  = flag.Bool("stream", false, "fit by scanning the trace file incrementally (bounded memory, identical model)")
 	)
 	flag.Parse()
-
-	r := os.Stdin
-	if *in != "-" {
-		f, err := os.Open(*in)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		r = f
-	}
-	tr, err := trace.ReadAuto(r)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	co := cluster.Options{
 		ThetaF: cluster.Features{*thetaF, *thetaF, *thetaF, *thetaF},
@@ -55,9 +49,45 @@ func main() {
 		log.Fatal(err)
 	}
 	opt.Workers = *workers
-	ms, err := core.Fit(tr, opt)
-	if err != nil {
-		log.Fatal(err)
+
+	var ms *core.ModelSet
+	var nUEs, nEvents int
+	if *stream {
+		if *in == "-" {
+			log.Fatal("-stream needs a seekable trace file; -i - (stdin) cannot be scanned twice")
+		}
+		src, err := trace.NewFileSource(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ms, err = core.FitStream(src, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, dm := range ms.Devices {
+			if dm != nil {
+				nUEs += dm.TrainUEs
+			}
+		}
+	} else {
+		r := os.Stdin
+		if *in != "-" {
+			f, err := os.Open(*in)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			r = f
+		}
+		tr, err := trace.ReadAuto(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ms, err = core.Fit(tr, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nUEs, nEvents = tr.NumUEs(), tr.Len()
 	}
 
 	w := os.Stdout
@@ -76,6 +106,11 @@ func main() {
 	if err := ms.Save(w); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "fitmodel: method=%s machine=%s models=%d (from %d UEs, %d events)\n",
-		ms.Method, ms.MachineName, ms.NumModels(), tr.NumUEs(), tr.Len())
+	if *stream {
+		fmt.Fprintf(os.Stderr, "fitmodel: method=%s machine=%s models=%d (streamed from %d UEs)\n",
+			ms.Method, ms.MachineName, ms.NumModels(), nUEs)
+	} else {
+		fmt.Fprintf(os.Stderr, "fitmodel: method=%s machine=%s models=%d (from %d UEs, %d events)\n",
+			ms.Method, ms.MachineName, ms.NumModels(), nUEs, nEvents)
+	}
 }

@@ -7,6 +7,12 @@
 //
 //	tracestat -i world.trace
 //	tracestat -i syn.trace -machine 5g-sa
+//	tracestat -i big.trace -stream
+//
+// With -stream the trace is consumed record by record through an
+// incremental scanner — peak memory is O(UEs) instead of the trace size
+// — and the reported statistics are identical. Both modes report ingest
+// throughput and the process's memory footprint.
 package main
 
 import (
@@ -14,7 +20,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"cptraffic/internal/cp"
 	"cptraffic/internal/eval"
@@ -24,12 +32,167 @@ import (
 	"cptraffic/internal/trace"
 )
 
+// ueStat is the per-UE state of the incremental statistics pass: the
+// macro tracker behind the HO/TAU breakdown split and the replay cursor
+// behind the conformance check. Both need only the current state, so the
+// whole pass holds O(UEs) memory however long the trace is.
+type ueStat struct {
+	dev cp.DeviceType
+
+	// Breakdown: the initial macro state is decidable at the first
+	// Category-1 event (sm.InferMacroInitial); HO/TAU seen before then
+	// are held as counts and attributed once it is known.
+	decided         bool
+	macro           cp.UEState
+	pendHO, pendTAU int
+
+	// Conformance replay cursor (sm.Replay, incrementally).
+	started bool
+	cur     sm.State
+}
+
+// statCollector accumulates every tracestat figure in one pass over
+// registrations and events, in any per-UE-ordered delivery.
+type statCollector struct {
+	m   *sm.Machine
+	ues map[cp.UEID]*ueStat
+
+	devUEs    [cp.NumDeviceTypes]int
+	devCounts [cp.NumDeviceTypes]map[string]int
+	devTotal  [cp.NumDeviceTypes]int
+
+	perHour    [24]int
+	nf         [mcn.NumNFs]int
+	events     int
+	lo, hi     cp.Millis
+	violations int
+	checked    int
+}
+
+func newStatCollector(m *sm.Machine) *statCollector {
+	s := &statCollector{m: m, ues: make(map[cp.UEID]*ueStat)}
+	for d := range s.devCounts {
+		s.devCounts[d] = make(map[string]int)
+	}
+	return s
+}
+
+func (s *statCollector) register(ue cp.UEID, d cp.DeviceType) error {
+	if _, dup := s.ues[ue]; dup {
+		return fmt.Errorf("duplicate registration for UE %d", ue)
+	}
+	s.ues[ue] = &ueStat{dev: d}
+	if d.Valid() {
+		s.devUEs[d]++
+	}
+	return nil
+}
+
+// breakdownKey mirrors eval.ComputeBreakdown's row labels.
+func breakdownKey(e cp.EventType, st cp.UEState) string {
+	switch e {
+	case cp.Handover:
+		if st == cp.StateIdle {
+			return "HO (IDLE)"
+		}
+		return "HO (CONN.)"
+	case cp.TrackingAreaUpdate:
+		if st == cp.StateIdle {
+			return "TAU (IDLE)"
+		}
+		return "TAU (CONN.)"
+	}
+	return e.String()
+}
+
+func (s *statCollector) addBreakdown(d cp.DeviceType, key string, n int) {
+	if !d.Valid() || n == 0 {
+		return
+	}
+	s.devCounts[d][key] += n
+	s.devTotal[d] += n
+}
+
+func (s *statCollector) push(ev trace.Event) error {
+	u, ok := s.ues[ev.UE]
+	if !ok {
+		return fmt.Errorf("event for unregistered UE %d", ev.UE)
+	}
+	if s.events == 0 || ev.T < s.lo {
+		s.lo = ev.T
+	}
+	if ev.T > s.hi {
+		s.hi = ev.T
+	}
+	s.events++
+	s.perHour[ev.T.HourOfDay()]++
+	tx := mcn.Transactions(ev.Type)
+	for n := 0; n < mcn.NumNFs; n++ {
+		s.nf[n] += tx[n]
+	}
+
+	// Breakdown with HO/TAU split by macro state.
+	if sm.Category1(ev.Type) {
+		if !u.decided {
+			u.decided = true
+			initial := sm.InferMacroInitial([]trace.Event{ev})
+			s.addBreakdown(u.dev, breakdownKey(cp.Handover, initial), u.pendHO)
+			s.addBreakdown(u.dev, breakdownKey(cp.TrackingAreaUpdate, initial), u.pendTAU)
+			u.pendHO, u.pendTAU = 0, 0
+		}
+		u.macro = sm.MacroAfter(ev.Type)
+		s.addBreakdown(u.dev, breakdownKey(ev.Type, u.macro), 1)
+	} else if !u.decided {
+		switch ev.Type {
+		case cp.Handover:
+			u.pendHO++
+		case cp.TrackingAreaUpdate:
+			u.pendTAU++
+		}
+	} else {
+		s.addBreakdown(u.dev, breakdownKey(ev.Type, u.macro), 1)
+	}
+
+	// Conformance replay.
+	if !u.started {
+		u.started = true
+		u.cur = sm.InferInitial(s.m, []trace.Event{ev})
+	}
+	next, ok := s.m.Next(u.cur, ev.Type)
+	if !ok {
+		s.violations++
+		next = s.m.Forced(ev.Type)
+	}
+	u.cur = next
+	s.checked++
+	return nil
+}
+
+// finish attributes the held HO/TAU counts of UEs that never emitted a
+// Category-1 event, using sm.InferMacroInitial's fallback: any handover
+// implies CONNECTED, otherwise IDLE.
+func (s *statCollector) finish() {
+	for _, u := range s.ues {
+		if u.decided || (u.pendHO == 0 && u.pendTAU == 0) {
+			continue
+		}
+		initial := cp.StateIdle
+		if u.pendHO > 0 {
+			initial = cp.StateConnected
+		}
+		s.addBreakdown(u.dev, breakdownKey(cp.Handover, initial), u.pendHO)
+		s.addBreakdown(u.dev, breakdownKey(cp.TrackingAreaUpdate, initial), u.pendTAU)
+		u.pendHO, u.pendTAU = 0, 0
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracestat: ")
 	var (
 		in      = flag.String("i", "-", "input trace ('-' for stdin)")
 		machine = flag.String("machine", "lte", "conformance machine: lte | emm-ecm | 5g-sa")
+		stream  = flag.Bool("stream", false, "single-pass scan with O(UEs) memory (identical statistics)")
 	)
 	flag.Parse()
 
@@ -41,10 +204,6 @@ func main() {
 		}
 		defer f.Close()
 		r = f
-	}
-	tr, err := trace.ReadAuto(r)
-	if err != nil {
-		log.Fatal(err)
 	}
 	var m *sm.Machine
 	switch strings.ToLower(*machine) {
@@ -58,23 +217,61 @@ func main() {
 		log.Fatalf("unknown machine %q", *machine)
 	}
 
-	lo, hi := tr.Span()
+	s := newStatCollector(m)
+	begin := time.Now()
+	if *stream {
+		sc, err := trace.NewScanner(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sc.Devices(s.register); err != nil {
+			log.Fatal(err)
+		}
+		for sc.Scan() {
+			if err := s.push(sc.Event()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		tr, err := trace.ReadAuto(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ue := range tr.UEs() {
+			if err := s.register(ue, tr.Device[ue]); err != nil {
+				log.Fatal(err)
+			}
+		}
+		for _, ev := range tr.Events {
+			if err := s.push(ev); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	s.finish()
+	elapsed := time.Since(begin)
+
 	fmt.Printf("UEs: %d   events: %d   span: [%.1f h, %.1f h)\n\n",
-		tr.NumUEs(), tr.Len(), lo.Seconds()/3600, hi.Seconds()/3600)
+		len(s.ues), s.events, s.lo.Seconds()/3600, s.hi.Seconds()/3600)
 
 	devTbl := report.Table{
 		Title:  "Per-device breakdown (HO/TAU split by macro state)",
 		Header: append([]string{"Device", "UEs", "Events"}, eval.BreakdownKeys...),
 	}
 	for _, d := range cp.DeviceTypes {
-		ues := tr.UEsOfType(d)
-		if len(ues) == 0 {
+		if s.devUEs[d] == 0 {
 			continue
 		}
-		b := eval.ComputeBreakdown(tr, d)
-		row := []string{d.String(), fmt.Sprintf("%d", len(ues)), fmt.Sprintf("%d", b.Total)}
+		row := []string{d.String(), fmt.Sprintf("%d", s.devUEs[d]), fmt.Sprintf("%d", s.devTotal[d])}
 		for _, k := range eval.BreakdownKeys {
-			row = append(row, report.Pct(b.Share[k]))
+			share := 0.0
+			if s.devTotal[d] > 0 {
+				share = float64(s.devCounts[d][k]) / float64(s.devTotal[d])
+			}
+			row = append(row, report.Pct(share))
 		}
 		devTbl.AddRow(row...)
 	}
@@ -82,43 +279,33 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Diurnal profile.
-	var perHour [24]int
-	for _, e := range tr.Events {
-		perHour[e.T.HourOfDay()]++
-	}
 	diurnal := report.Table{Title: "Diurnal profile", Header: []string{"Hour", "Events", "Share"}}
-	for h, c := range perHour {
+	for h, c := range s.perHour {
 		if c == 0 {
 			continue
 		}
 		diurnal.AddRow(fmt.Sprintf("%02d", h), fmt.Sprintf("%d", c),
-			report.Pct(float64(c)/float64(tr.Len())))
+			report.Pct(float64(c)/float64(s.events)))
 	}
 	if err := diurnal.Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 
-	// Per-NF transaction load.
-	load := mcn.NFLoad(tr)
 	nfTbl := report.Table{Title: "Per-network-function transactions", Header: []string{"NF", "Transactions"}}
 	for n := 0; n < mcn.NumNFs; n++ {
-		nfTbl.AddRow(mcn.NF(n).String(), fmt.Sprintf("%d", load[n]))
+		nfTbl.AddRow(mcn.NF(n).String(), fmt.Sprintf("%d", s.nf[n]))
 	}
 	if err := nfTbl.Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 
-	// Conformance.
-	violations, checked := 0, 0
-	for _, evs := range tr.PerUE() {
-		if len(evs) == 0 {
-			continue
-		}
-		res := sm.Replay(m, sm.InferInitial(m, evs), evs)
-		violations += res.Violations
-		checked += len(evs)
-	}
 	fmt.Printf("Conformance vs %s: %d violations across %d events\n",
-		m.Name, violations, checked)
+		m.Name, s.violations, s.checked)
+
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	rate := float64(s.events) / elapsed.Seconds()
+	fmt.Printf("Ingest: %d events in %.2f s (%.0f events/s)   heap: %.1f MiB live, %.1f MiB peak from OS\n",
+		s.events, elapsed.Seconds(), rate,
+		float64(mem.HeapAlloc)/(1<<20), float64(mem.Sys)/(1<<20))
 }

@@ -6,11 +6,17 @@
 //
 //	traffgen -model model.json -ues 380000 -start 18 -hours 1 -o syn.trace
 //	traffgen -model model.json -nextg sa -ues 10000 -hours 24 -o sa.trace
+//	traffgen -model model.json -ues 5000000 -hours 1 -stream -binary -o big.trace
+//
+// With -stream the per-UE generators are merged and written
+// incrementally — peak memory is O(UEs), not the trace size — producing
+// byte-identical output to the in-memory path.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -34,6 +40,7 @@ func main() {
 		hoFactor  = flag.Float64("hofactor", 0, "handover scaling override (0 = paper default)")
 		out       = flag.String("o", "-", "output trace ('-' for stdout)")
 		binOut    = flag.Bool("binary", false, "write the compact binary trace format")
+		stream    = flag.Bool("stream", false, "generate and write incrementally (O(UEs) memory, identical output)")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -72,15 +79,12 @@ func main() {
 		log.Fatalf("unknown -nextg %q (want nsa or sa)", *nextg)
 	}
 
-	tr, err := core.Generate(ms, core.GenOptions{
+	gopt := core.GenOptions{
 		NumUEs:    *ues,
 		StartHour: *start,
 		Duration:  cp.Millis(*hours) * cp.Hour,
 		Seed:      *seed,
 		Workers:   *workers,
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
 
 	w := os.Stdout
@@ -96,6 +100,25 @@ func main() {
 		}()
 		w = file
 	}
+
+	if *stream {
+		src, err := core.NewSource(ms, gopt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nUEs, nEvents, err := streamOut(w, src, *binOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "traffgen: method=%s machine=%s -> %d UEs, %d events (streamed)\n",
+			ms.Method, ms.MachineName, nUEs, nEvents)
+		return
+	}
+
+	tr, err := core.Generate(ms, gopt)
+	if err != nil {
+		log.Fatal(err)
+	}
 	writeFn := trace.WriteTrace
 	if *binOut {
 		writeFn = trace.WriteBinaryTrace
@@ -105,4 +128,39 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "traffgen: method=%s machine=%s -> %d UEs, %d events\n",
 		ms.Method, ms.MachineName, tr.NumUEs(), tr.Len())
+}
+
+// countingSink wraps an EventSink, tallying what passes through.
+type countingSink struct {
+	sink        trace.EventSink
+	ues, events int
+}
+
+func (c *countingSink) SetDevice(ue cp.UEID, d cp.DeviceType) error {
+	c.ues++
+	return c.sink.SetDevice(ue, d)
+}
+
+func (c *countingSink) Write(e trace.Event) error {
+	c.events++
+	return c.sink.Write(e)
+}
+
+// streamOut copies src into w in the chosen format, returning the
+// counts for the summary line.
+func streamOut(w io.Writer, src trace.EventSource, binary bool) (ues, events int, err error) {
+	var sink trace.EventSink
+	var closeFn func() error
+	if binary {
+		sw := trace.NewStreamWriter(w)
+		sink, closeFn = sw, sw.Close
+	} else {
+		tw := trace.NewTextWriter(w)
+		sink, closeFn = tw, tw.Close
+	}
+	cs := &countingSink{sink: sink}
+	if err := trace.Copy(cs, src); err != nil {
+		return 0, 0, err
+	}
+	return cs.ues, cs.events, closeFn()
 }

@@ -5,11 +5,17 @@
 // Usage:
 //
 //	worldgen -ues 2000 -hours 48 -seed 1 -o world.trace
+//	worldgen -ues 2000000 -hours 24 -stream -binary -o big.trace
+//
+// With -stream the population is simulated and written incrementally —
+// peak memory is O(UEs), not the trace size — producing byte-identical
+// output to the in-memory path.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -17,6 +23,41 @@ import (
 	"cptraffic/internal/trace"
 	"cptraffic/internal/world"
 )
+
+// countingSink wraps an EventSink, tallying what passes through.
+type countingSink struct {
+	sink        trace.EventSink
+	ues, events int
+}
+
+func (c *countingSink) SetDevice(ue cp.UEID, d cp.DeviceType) error {
+	c.ues++
+	return c.sink.SetDevice(ue, d)
+}
+
+func (c *countingSink) Write(e trace.Event) error {
+	c.events++
+	return c.sink.Write(e)
+}
+
+// streamOut copies src into w in the chosen format, returning the
+// counts for the summary line.
+func streamOut(w io.Writer, src trace.EventSource, binary bool) (ues, events int, err error) {
+	var sink trace.EventSink
+	var closeFn func() error
+	if binary {
+		sw := trace.NewStreamWriter(w)
+		sink, closeFn = sw, sw.Close
+	} else {
+		tw := trace.NewTextWriter(w)
+		sink, closeFn = tw, tw.Close
+	}
+	cs := &countingSink{sink: sink}
+	if err := trace.Copy(cs, src); err != nil {
+		return 0, 0, err
+	}
+	return cs.ues, cs.events, closeFn()
+}
 
 func main() {
 	log.SetFlags(0)
@@ -27,6 +68,7 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "random seed")
 		out    = flag.String("o", "-", "output file ('-' for stdout)")
 		binOut = flag.Bool("binary", false, "write the compact binary trace format")
+		stream = flag.Bool("stream", false, "simulate and write incrementally (O(UEs) memory, identical output)")
 		phones = flag.Float64("phones", -1, "phone share override (with -cars, -tablets)")
 		cars   = flag.Float64("cars", -1, "connected-car share override")
 		tabs   = flag.Float64("tablets", -1, "tablet share override")
@@ -44,10 +86,6 @@ func main() {
 		}
 		opt.Mix = []float64{*phones, *cars, *tabs}
 	}
-	tr, err := world.Generate(opt)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	w := os.Stdout
 	if *out != "-" {
@@ -61,6 +99,24 @@ func main() {
 			}
 		}()
 		w = f
+	}
+
+	if *stream {
+		src, err := world.NewSource(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nUEs, nEvents, err := streamOut(w, src, *binOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "worldgen: %d UEs, %d events over %d h (streamed)\n", nUEs, nEvents, *hours)
+		return
+	}
+
+	tr, err := world.Generate(opt)
+	if err != nil {
+		log.Fatal(err)
 	}
 	writeFn := trace.WriteTrace
 	if *binOut {

@@ -156,115 +156,198 @@ type ueData struct {
 	Violations int
 }
 
+// sampleSink receives the samples extracted from one UE's event stream.
+// ueData implements it by appending (the in-memory reference); FitStream
+// routes samples straight into per-(hour, cluster) accumulators without
+// materializing per-UE slices.
+type sampleSink interface {
+	countEvent(h int, e cp.EventType)
+	top(s topSample)
+	bot(s botSample)
+	botCensor(s censorSample)
+	free(s iaSample)
+	first(s firstSample)
+	violation()
+}
+
+func (d *ueData) countEvent(h int, e cp.EventType) { d.Counts[h][e]++ }
+func (d *ueData) top(s topSample)                  { d.Top = append(d.Top, s) }
+func (d *ueData) bot(s botSample)                  { d.Bot = append(d.Bot, s) }
+func (d *ueData) botCensor(s censorSample)         { d.BotCensor = append(d.BotCensor, s) }
+func (d *ueData) free(s iaSample)                  { d.Free = append(d.Free, s) }
+func (d *ueData) first(s firstSample)              { d.First = append(d.First, s) }
+func (d *ueData) violation()                       { d.Violations++ }
+
 // extractUE walks one UE's time-ordered events, tracking the two levels
 // of the machine concurrently, and collects every sample the fitting
 // stage needs.
 func extractUE(m *sm.Machine, ue cp.UEID, evs []trace.Event) *ueData {
 	d := &ueData{UE: ue}
-	macro := sm.InferMacroInitial(evs)
-	bottom := m.SubEntry(macro)
-	var macroAt, botAt cp.Millis
-	macroHas, botHas := false, false
-
-	var lastOfType [cp.NumEventTypes]cp.Millis
-	var lastCellOfType [cp.NumEventTypes]int
-	var seenType [cp.NumEventTypes]bool
-	lastCell := -1
-
+	x := newUEExtractor(m, d)
 	for _, ev := range evs {
-		t := ev.T
-		h := t.HourOfDay()
-		if h >= 0 && h < HoursPerDay && ev.Type.Valid() {
-			d.Counts[h][ev.Type]++
-		}
-		// First event per (day, hour) cell; the post-event machine
-		// state is filled in after the classification below.
-		cell := t.HourIndex()
-		isFirstOfCell := cell != lastCell
-		lastCell = cell
-		// Inter-arrival per event type (for free-process fitting). The
-		// paper preprocesses the trace into non-overlapping 1-hour
-		// intervals, so gaps never span interval boundaries — which is
-		// precisely what makes the Base method's fitted HO/TAU rates
-		// reflect only busy movers and explode at generation time.
-		if seenType[ev.Type] && lastCellOfType[ev.Type] == cell {
-			d.Free = append(d.Free, iaSample{Hour: uint8(h), E: ev.Type, IA: (t - lastOfType[ev.Type]).Seconds()})
-		}
-		lastOfType[ev.Type] = t
-		lastCellOfType[ev.Type] = cell
-		seenType[ev.Type] = true
-
-		if sm.Category1(ev.Type) {
-			next := macroNext(ev.Type)
-			if next != macro {
-				// Top-level transition. Sojourn samples are attributed
-				// to the hour the state was entered (the generator draws
-				// the sojourn at entry time), falling back to the event
-				// hour when the entry is unknown.
-				sampleHour := uint8(h)
-				if macroHas {
-					sampleHour = uint8(macroAt.HourOfDay())
-				}
-				d.Top = append(d.Top, topSample{
-					Hour: sampleHour,
-					Key:  topKey{S: macro, E: ev.Type},
-					Soj:  (t - macroAt).Seconds(),
-					Has:  macroHas,
-				})
-				// The bottom level's sojourn-in-progress is right-
-				// censored by the top-level exit.
-				if botHas {
-					d.BotCensor = append(d.BotCensor, censorSample{
-						Hour: uint8(botAt.HourOfDay()),
-						S:    bottom,
-						Dur:  (t - botAt).Seconds(),
-					})
-				}
-				macro = next
-				macroAt, macroHas = t, true
-				bottom = m.SubEntry(macro)
-				botAt, botHas = t, true
-				d.recordFirst(isFirstOfCell, h, cell, t, ev.Type, bottom)
-				continue
-			}
-			// Category-1 event without a macro change: only legal as a
-			// bottom transition (the TAU-releasing S1_CONN_REL in IDLE).
-		}
-		if to, ok := m.Next(bottom, ev.Type); ok && m.Top(to) == macro {
-			sampleHour := uint8(h)
-			if botHas {
-				sampleHour = uint8(botAt.HourOfDay())
-			}
-			d.Bot = append(d.Bot, botSample{
-				Hour: sampleHour,
-				Key:  botKey{S: bottom, E: ev.Type},
-				Soj:  (t - botAt).Seconds(),
-				Has:  botHas,
-			})
-			bottom = to
-			botAt, botHas = t, true
-			d.recordFirst(isFirstOfCell, h, cell, t, ev.Type, bottom)
-			continue
-		}
-		// Machines without sub-structure (EMM-ECM) take Category-2
-		// events here by design: they are modeled as free processes, not
-		// violations.
-		if hasSubStructure(m) && !sm.Category1(ev.Type) {
-			d.Violations++
-		}
-		d.recordFirst(isFirstOfCell, h, cell, t, ev.Type, bottom)
+		x.push(ev)
 	}
+	x.finish()
 	return d
 }
 
-// recordFirst appends a first-event sample when the event opened a new
+// ueExtractor is the push-based form of the extraction walk: events
+// arrive one at a time (in the UE's time order) and samples leave through
+// the sink as soon as they are determined. Because the initial macro
+// state is inferred from the first Category-1 event, the extractor buffers
+// the (typically empty) Category-2 prefix until that event arrives and
+// replays it; a UE with no Category-1 events at all is resolved at
+// finish. Both paths call sm.InferMacroInitial on exactly the events that
+// decide it, so the state walk — and every emitted sample — is identical
+// to the batch extraction.
+type ueExtractor struct {
+	m    *sm.Machine
+	sink sampleSink
+
+	decided bool
+	buf     []trace.Event // prefix held until the initial macro state is known
+
+	macro            cp.UEState
+	bottom           sm.State
+	macroAt, botAt   cp.Millis
+	macroHas, botHas bool
+
+	lastOfType     [cp.NumEventTypes]cp.Millis
+	lastCellOfType [cp.NumEventTypes]int
+	seenType       [cp.NumEventTypes]bool
+	lastCell       int
+}
+
+func newUEExtractor(m *sm.Machine, sink sampleSink) *ueExtractor {
+	return &ueExtractor{m: m, sink: sink, lastCell: -1}
+}
+
+// push feeds the next event of this UE's time-ordered stream.
+func (x *ueExtractor) push(ev trace.Event) {
+	if !x.decided {
+		x.buf = append(x.buf, ev)
+		if sm.Category1(ev.Type) {
+			x.start()
+		}
+		return
+	}
+	x.step(ev)
+}
+
+// finish flushes a stream that never produced a Category-1 event. It must
+// be called exactly once after the last push.
+func (x *ueExtractor) finish() {
+	if !x.decided {
+		x.start()
+	}
+}
+
+// start resolves the initial macro state from the buffered prefix and
+// replays it through the walk.
+func (x *ueExtractor) start() {
+	x.decided = true
+	x.macro = sm.InferMacroInitial(x.buf)
+	x.bottom = x.m.SubEntry(x.macro)
+	for _, ev := range x.buf {
+		x.step(ev)
+	}
+	x.buf = nil
+}
+
+// step is the extraction walk body, one event at a time.
+func (x *ueExtractor) step(ev trace.Event) {
+	m := x.m
+	t := ev.T
+	h := t.HourOfDay()
+	if h >= 0 && h < HoursPerDay && ev.Type.Valid() {
+		x.sink.countEvent(h, ev.Type)
+	}
+	// First event per (day, hour) cell; the post-event machine
+	// state is filled in after the classification below.
+	cell := t.HourIndex()
+	isFirstOfCell := cell != x.lastCell
+	x.lastCell = cell
+	// Inter-arrival per event type (for free-process fitting). The
+	// paper preprocesses the trace into non-overlapping 1-hour
+	// intervals, so gaps never span interval boundaries — which is
+	// precisely what makes the Base method's fitted HO/TAU rates
+	// reflect only busy movers and explode at generation time.
+	if x.seenType[ev.Type] && x.lastCellOfType[ev.Type] == cell {
+		x.sink.free(iaSample{Hour: uint8(h), E: ev.Type, IA: (t - x.lastOfType[ev.Type]).Seconds()})
+	}
+	x.lastOfType[ev.Type] = t
+	x.lastCellOfType[ev.Type] = cell
+	x.seenType[ev.Type] = true
+
+	if sm.Category1(ev.Type) {
+		next := macroNext(ev.Type)
+		if next != x.macro {
+			// Top-level transition. Sojourn samples are attributed
+			// to the hour the state was entered (the generator draws
+			// the sojourn at entry time), falling back to the event
+			// hour when the entry is unknown.
+			sampleHour := uint8(h)
+			if x.macroHas {
+				sampleHour = uint8(x.macroAt.HourOfDay())
+			}
+			x.sink.top(topSample{
+				Hour: sampleHour,
+				Key:  topKey{S: x.macro, E: ev.Type},
+				Soj:  (t - x.macroAt).Seconds(),
+				Has:  x.macroHas,
+			})
+			// The bottom level's sojourn-in-progress is right-
+			// censored by the top-level exit.
+			if x.botHas {
+				x.sink.botCensor(censorSample{
+					Hour: uint8(x.botAt.HourOfDay()),
+					S:    x.bottom,
+					Dur:  (t - x.botAt).Seconds(),
+				})
+			}
+			x.macro = next
+			x.macroAt, x.macroHas = t, true
+			x.bottom = m.SubEntry(x.macro)
+			x.botAt, x.botHas = t, true
+			x.recordFirst(isFirstOfCell, h, cell, t, ev.Type, x.bottom)
+			return
+		}
+		// Category-1 event without a macro change: only legal as a
+		// bottom transition (the TAU-releasing S1_CONN_REL in IDLE).
+	}
+	if to, ok := m.Next(x.bottom, ev.Type); ok && m.Top(to) == x.macro {
+		sampleHour := uint8(h)
+		if x.botHas {
+			sampleHour = uint8(x.botAt.HourOfDay())
+		}
+		x.sink.bot(botSample{
+			Hour: sampleHour,
+			Key:  botKey{S: x.bottom, E: ev.Type},
+			Soj:  (t - x.botAt).Seconds(),
+			Has:  x.botHas,
+		})
+		x.bottom = to
+		x.botAt, x.botHas = t, true
+		x.recordFirst(isFirstOfCell, h, cell, t, ev.Type, x.bottom)
+		return
+	}
+	// Machines without sub-structure (EMM-ECM) take Category-2
+	// events here by design: they are modeled as free processes, not
+	// violations.
+	if hasSubStructure(m) && !sm.Category1(ev.Type) {
+		x.sink.violation()
+	}
+	x.recordFirst(isFirstOfCell, h, cell, t, ev.Type, x.bottom)
+}
+
+// recordFirst emits a first-event sample when the event opened a new
 // (day, hour) cell. state is the machine state right after the event.
-func (d *ueData) recordFirst(isFirst bool, h, cell int, t cp.Millis, e cp.EventType, state sm.State) {
+func (x *ueExtractor) recordFirst(isFirst bool, h, cell int, t cp.Millis, e cp.EventType, state sm.State) {
 	if !isFirst {
 		return
 	}
 	hourStart := cp.Millis(cell) * cp.Hour
-	d.First = append(d.First, firstSample{
+	x.sink.first(firstSample{
 		Hour:  uint8(h),
 		E:     e,
 		State: state,
@@ -536,31 +619,9 @@ func fitDevice(tr *trace.Trace, d cp.DeviceType, days int, opt FitOptions) (*Dev
 		data[i] = extractUE(opt.Machine, ue, evs)
 	})
 
-	// Pass 2: cluster per hour-of-day. Hours are independent and every
-	// write is indexed by h; cluster.Partition itself is deterministic
-	// (it sorts its input by UE id).
-	assignments := make([]map[cp.UEID]int, HoursPerDay)
-	numClusters := make([]int, HoursPerDay)
-	weights := make([][]float64, HoursPerDay)
-	par.For(HoursPerDay, opt.Workers, func(h int) {
-		if opt.NoClustering {
-			asg := make(map[cp.UEID]int, len(ues))
-			for _, ue := range ues {
-				asg[ue] = 0
-			}
-			assignments[h] = asg
-			numClusters[h] = 1
-			weights[h] = []float64{1}
-			return
-		}
-		pts := make([]cluster.Point, len(ues))
-		for i, ue := range ues {
-			pts[i] = cluster.Point{UE: ue, F: featuresAt(data[i], h, days)}
-		}
-		cs := cluster.Partition(pts, opt.Cluster)
-		assignments[h] = cluster.Assignment(cs)
-		numClusters[h] = len(cs)
-		weights[h] = cluster.Weights(cs)
+	// Pass 2: cluster per hour-of-day.
+	assignments, numClusters, weights := clusterHours(ues, opt, func(i, h int) cluster.Features {
+		return featuresAt(data[i], h, days)
 	})
 
 	// Pass 3: personas (deduplicated per-UE cluster-membership vectors).
@@ -602,6 +663,39 @@ func fitDevice(tr *trace.Trace, d cp.DeviceType, days int, opt FitOptions) (*Dev
 	g := global.build(opt.Machine, opt)
 	dm.Global = &g
 	return dm, len(ues), nil
+}
+
+// clusterHours partitions a device type's UEs per hour-of-day, with
+// featAt supplying the clustering features of UE index i at hour h. Hours
+// are independent and every write is indexed by h; cluster.Partition
+// itself is deterministic (it sorts its input by UE id), so the result is
+// identical for any worker count. Both the in-memory and the streaming
+// fit run exactly this code.
+func clusterHours(ues []cp.UEID, opt FitOptions, featAt func(i, h int) cluster.Features) (assignments []map[cp.UEID]int, numClusters []int, weights [][]float64) {
+	assignments = make([]map[cp.UEID]int, HoursPerDay)
+	numClusters = make([]int, HoursPerDay)
+	weights = make([][]float64, HoursPerDay)
+	par.For(HoursPerDay, opt.Workers, func(h int) {
+		if opt.NoClustering {
+			asg := make(map[cp.UEID]int, len(ues))
+			for _, ue := range ues {
+				asg[ue] = 0
+			}
+			assignments[h] = asg
+			numClusters[h] = 1
+			weights[h] = []float64{1}
+			return
+		}
+		pts := make([]cluster.Point, len(ues))
+		for i, ue := range ues {
+			pts[i] = cluster.Point{UE: ue, F: featAt(i, h)}
+		}
+		cs := cluster.Partition(pts, opt.Cluster)
+		assignments[h] = cluster.Assignment(cs)
+		numClusters[h] = len(cs)
+		weights[h] = cluster.Weights(cs)
+	})
+	return assignments, numClusters, weights
 }
 
 // featuresAt computes the clustering features of one UE for hour h:

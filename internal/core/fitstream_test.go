@@ -1,0 +1,217 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"cptraffic/internal/cp"
+	"cptraffic/internal/sm"
+	"cptraffic/internal/trace"
+)
+
+func modelBytes(t *testing.T, ms *ModelSet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ms.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func traceFile(t *testing.T, tr *trace.Trace) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinaryTrace(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// edgeTrace exercises the streaming-specific corners the toy world never
+// hits: a UE whose whole stream is Category-2 (initial state resolved
+// only at finish), a registered UE with zero events, and duplicate
+// events.
+func edgeTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr := toyTrace(t, 12, 2*cp.Hour, 3)
+	mustSet := func(ue cp.UEID, d cp.DeviceType) {
+		t.Helper()
+		if err := tr.SetDevice(ue, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSet(100, cp.Phone) // zero events
+	mustSet(101, cp.ConnectedCar)
+	for i := 0; i < 5; i++ { // HO-only mover: fallback initial = CONNECTED
+		tr.Append(trace.Event{T: cp.Millis(i+1) * cp.Minute, UE: 101, Type: cp.Handover})
+	}
+	mustSet(102, cp.Tablet)
+	tr.Append(trace.Event{T: 10 * cp.Minute, UE: 102, Type: cp.TrackingAreaUpdate})
+	tr.Append(trace.Event{T: 10 * cp.Minute, UE: 102, Type: cp.TrackingAreaUpdate}) // exact duplicate
+	tr.Sort()
+	return tr
+}
+
+// TestFitStreamMatchesInMemory: the streamed fit must be byte-identical
+// to the in-memory fit for every source kind (in-memory trace, binary
+// file) and worker count — the same discipline as worker determinism.
+func TestFitStreamMatchesInMemory(t *testing.T) {
+	traces := map[string]*trace.Trace{
+		"toy":  toyTrace(t, 48, 3*cp.Hour, 7),
+		"edge": edgeTrace(t),
+	}
+	fits := []FitOptions{
+		{Cluster: clusterOptSmall()}, // "ours": two-level + quantile tables
+		{Machine: sm.EMMECM(), SojournKind: SojournExp,
+			FreeEvents:   []cp.EventType{cp.Handover, cp.TrackingAreaUpdate},
+			NoClustering: true, Method: "base"}, // free processes + censored MLE
+	}
+	for name, tr := range traces {
+		path := traceFile(t, tr)
+		fileSrc, err := trace.NewFileSource(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, base := range fits {
+			ref, err := Fit(tr, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := modelBytes(t, ref)
+			sources := map[string]trace.EventSource{
+				"trace": tr,
+				"file":  fileSrc,
+			}
+			for srcName, src := range sources {
+				for _, w := range []int{1, 8} {
+					opt := base
+					opt.Workers = w
+					ms, err := FitStream(src, opt)
+					if err != nil {
+						t.Fatalf("%s/%s/%s workers=%d: %v", name, base.Method, srcName, w, err)
+					}
+					if got := modelBytes(t, ms); !bytes.Equal(want, got) {
+						t.Fatalf("%s: FitStream(%s, method=%q, workers=%d) differs from Fit (%d vs %d bytes)",
+							name, srcName, base.Method, w, len(got), len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFitStreamEmptySourceFails(t *testing.T) {
+	if _, err := FitStream(trace.New(), FitOptions{}); err == nil {
+		t.Fatal("want error for empty source")
+	}
+}
+
+// peakHeap runs fn and returns the peak live-heap growth over the
+// baseline, sampled concurrently (plus a final sample, so short-lived
+// peaks between ticks still bound from below). An aggressive GC target
+// keeps HeapAlloc tracking the live set rather than collection timing,
+// so the two paths compare by what they actually retain.
+func peakHeap(fn func()) uint64 {
+	defer debug.SetGCPercent(debug.SetGCPercent(10))
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	stop := make(chan struct{})
+	peakCh := make(chan uint64, 1)
+	go func() {
+		var peak uint64
+		var ms runtime.MemStats
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				peakCh <- peak
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	fn()
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	close(stop)
+	peak := <-peakCh
+	if end.HeapAlloc > peak {
+		peak = end.HeapAlloc
+	}
+	if peak <= base.HeapAlloc {
+		return 0
+	}
+	return peak - base.HeapAlloc
+}
+
+// TestFitStreamBoundedMemory: fitting from a file through FitStream must
+// peak measurably below the read-then-fit in-memory path on the same
+// trace. Exact byte-identity forces the streamed fit to retain every
+// sojourn sample in its accumulators, so its heap still grows with the
+// trace — what it never holds is the event slice, the per-UE event
+// groups, or the per-UE sample slices, which is where the in-memory
+// path's peak lives.
+func TestFitStreamBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory profile run skipped in -short mode")
+	}
+	tr := toyTrace(t, 256, 24*cp.Hour, 11)
+	path := traceFile(t, tr)
+	opt := FitOptions{Cluster: clusterOptSmall(), Workers: 1}
+
+	var inMemModel, streamModel []byte
+	inMemPeak := peakHeap(func() {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		loaded, err := trace.ReadBinaryTrace(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := Fit(loaded, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inMemModel = modelBytes(t, ms)
+	})
+	streamPeak := peakHeap(func() {
+		src, err := trace.NewFileSource(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := FitStream(src, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamModel = modelBytes(t, ms)
+	})
+	if !bytes.Equal(inMemModel, streamModel) {
+		t.Fatal("models differ between paths")
+	}
+	t.Logf("peak heap growth: in-memory %.1f MiB, streamed %.1f MiB (%.0f%%), %d events",
+		float64(inMemPeak)/(1<<20), float64(streamPeak)/(1<<20),
+		100*float64(streamPeak)/float64(inMemPeak), tr.Len())
+	if streamPeak >= inMemPeak {
+		t.Fatalf("streamed fit peak (%d B) not below in-memory peak (%d B)", streamPeak, inMemPeak)
+	}
+}

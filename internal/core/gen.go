@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -91,9 +90,10 @@ func Generate(ms *ModelSet, opt GenOptions) (*trace.Trace, error) {
 
 // Stream synthesizes the same trace Generate would, but delivers events
 // one at a time in global (time, UE) order with O(NumUEs) memory instead
-// of materializing everything: the per-UE generators are merged with a
-// heap. fn returning an error aborts the stream. The device registration
-// of every UE is reported through reg before any event is delivered.
+// of materializing everything: the per-UE generators are k-way merged
+// with trace.MergeScan. fn returning an error aborts the stream. The
+// device registration of every UE is reported through reg before any
+// event is delivered.
 //
 // Use it to drive a live core with populations whose full trace would
 // not fit in memory, or to pipe events into another system as they are
@@ -110,52 +110,53 @@ func Stream(ms *ModelSet, opt GenOptions, reg func(cp.UEID, cp.DeviceType) error
 			}
 		}
 	}
-	h := &genHeap{}
+	its := make([]trace.EventIterator, 0, len(jobs))
 	for _, j := range jobs {
 		dm := ms.Device(j.dev)
 		if dm == nil {
 			continue
 		}
-		g := newUEGen(machine, dm, j.ue, j.rng, t0, end)
-		if ev, ok := g.Next(); ok {
-			h.items = append(h.items, genHeapItem{ev: ev, g: g})
-		}
+		its = append(its, newUEGen(machine, dm, j.ue, j.rng, t0, end))
 	}
-	heap.Init(h)
-	for h.Len() > 0 {
-		item := h.items[0]
-		if err := fn(item.ev); err != nil {
+	return trace.MergeScan(fn, its)
+}
+
+// Source is a generator-backed trace.EventSource: scanning it draws the
+// synthetic population on the fly, so a trace of any size can be fitted,
+// evaluated, or written to disk without ever materializing it. Both
+// Devices and Scan re-derive the population plan from the seed, so the
+// source is re-iterable and successive passes agree.
+type Source struct {
+	ms  *ModelSet
+	opt GenOptions
+}
+
+// NewSource validates the generation options once and returns the lazy
+// source; no events are drawn until Scan.
+func NewSource(ms *ModelSet, opt GenOptions) (*Source, error) {
+	if _, _, _, _, _, err := planGeneration(ms, opt); err != nil {
+		return nil, err
+	}
+	return &Source{ms: ms, opt: opt}, nil
+}
+
+// Devices reports every planned UE's device type in ascending UE order.
+func (s *Source) Devices(fn func(cp.UEID, cp.DeviceType) error) error {
+	jobs, _, _, _, _, err := planGeneration(s.ms, s.opt)
+	if err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		if err := fn(j.ue, j.dev); err != nil {
 			return err
-		}
-		if ev, ok := item.g.Next(); ok {
-			h.items[0] = genHeapItem{ev: ev, g: item.g}
-			heap.Fix(h, 0)
-		} else {
-			heap.Pop(h)
 		}
 	}
 	return nil
 }
 
-type genHeapItem struct {
-	ev trace.Event
-	g  *ueGen
-}
-
-type genHeap struct {
-	items []genHeapItem
-}
-
-func (h *genHeap) Len() int           { return len(h.items) }
-func (h *genHeap) Less(i, j int) bool { return h.items[i].ev.Before(h.items[j].ev) }
-func (h *genHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *genHeap) Push(x interface{}) { h.items = append(h.items, x.(genHeapItem)) }
-func (h *genHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	item := old[n-1]
-	h.items = old[:n-1]
-	return item
+// Scan generates the population's events in canonical order.
+func (s *Source) Scan(fn func(trace.Event) error) error {
+	return Stream(s.ms, s.opt, nil, fn)
 }
 
 // genJob is one UE's generation assignment.

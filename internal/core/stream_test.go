@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"reflect"
 	"testing"
@@ -88,6 +89,69 @@ func TestStreamValidatesOptions(t *testing.T) {
 	if err := Stream(ms, GenOptions{NumUEs: 0, Duration: cp.Hour}, nil, nil); err == nil {
 		t.Fatal("NumUEs=0 accepted")
 	}
+}
+
+func TestSourceMatchesGenerate(t *testing.T) {
+	ms := fitToy(t, 40, 2*cp.Hour, 95, FitOptions{})
+	opt := GenOptions{NumUEs: 80, Duration: cp.Hour, Seed: 5}
+	batch, err := Generate(ms, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSource(ms, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two passes: the source must be re-iterable with identical output.
+	for pass := 0; pass < 2; pass++ {
+		got, err := trace.Collect(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Device, batch.Device) {
+			t.Fatalf("pass %d: device registrations differ", pass)
+		}
+		if !reflect.DeepEqual(got.Events, batch.Events) {
+			t.Fatalf("pass %d: collected %d events, batch %d; contents differ",
+				pass, len(got.Events), len(batch.Events))
+		}
+	}
+	if _, err := NewSource(ms, GenOptions{NumUEs: 0, Duration: cp.Hour}); err == nil {
+		t.Fatal("NewSource accepted NumUEs=0")
+	}
+}
+
+// TestFitFromGeneratedSource closes the loop: a model refitted directly
+// from a generator-backed source — no intermediate trace anywhere —
+// matches refitting from the materialized generated trace.
+func TestFitFromGeneratedSource(t *testing.T) {
+	ms := fitToy(t, 30, 2*cp.Hour, 96, FitOptions{})
+	opt := GenOptions{NumUEs: 50, Duration: 2 * cp.Hour, Seed: 9}
+	batch, err := Generate(ms, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refitOpt := FitOptions{Cluster: clusterOptSmall()}
+	want, err := Fit(batch, refitOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSource(ms, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FitStream(src, refitOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytesEqualModels(t, want, got) {
+		t.Fatal("FitStream(Source) differs from Fit(Generate)")
+	}
+}
+
+func bytesEqualModels(t *testing.T, a, b *ModelSet) bool {
+	t.Helper()
+	return bytes.Equal(modelBytes(t, a), modelBytes(t, b))
 }
 
 func TestUEGenIteratorResumable(t *testing.T) {

@@ -2,6 +2,9 @@ package eval
 
 import (
 	"math"
+	"os"
+	"path/filepath"
+	"reflect"
 	"testing"
 
 	"cptraffic/internal/cluster"
@@ -341,5 +344,117 @@ func TestCDFvsPoissonRanges(t *testing.T) {
 	}
 	if _, err := CDFvsPoisson(nil); err == nil {
 		t.Fatal("empty sample accepted")
+	}
+}
+
+// TestSourceCollectionMatchesInMemory: the one-pass streaming collection
+// must reproduce the in-memory results exactly — pooled samples and
+// pass-rate tables alike — whether the source is the trace itself or a
+// binary file.
+func TestSourceCollectionMatchesInMemory(t *testing.T) {
+	tr := worldTrace(t, 120, 6*cp.Hour, 17)
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinaryTrace(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fileSrc, err := trace.NewFileSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := map[string]trace.EventSource{"trace": tr, "file": fileSrc}
+
+	qs := []Quantity{
+		{Kind: QInterArrival, Event: cp.ServiceRequest},
+		{Kind: QStateSojourn, State: cp.StateIdle},
+		{Kind: QRegisteredSojourn},
+		{Kind: QTransSojourn, From: sm.LTESrvReqS, Event: cp.Handover},
+	}
+	for _, q := range qs {
+		want := QuantitySamples(tr, cp.Phone, q)
+		for name, src := range sources {
+			got, err := QuantitySamplesSource(src, cp.Phone, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s: QuantitySamplesSource(%v) = %d samples, want %d (or order differs)",
+					name, q, len(got), len(want))
+			}
+		}
+	}
+
+	quantities := Table8Quantities()
+	opt := FitTestOptions{MinSamples: 8}
+	want := PassRates(tr, quantities, opt)
+	for name, src := range sources {
+		got, err := PassRatesSource(src, quantities, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for dt, byDev := range want {
+			for d, byQ := range byDev {
+				for q, w := range byQ {
+					g, ok := got[dt][d][q]
+					if !ok {
+						t.Fatalf("%s: missing rate for %v/%v/%v", name, dt, d, q)
+					}
+					if g != w && !(math.IsNaN(g) && math.IsNaN(w)) {
+						t.Fatalf("%s: rate %v/%v/%v = %v, want %v", name, dt, d, q, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCollectorIncrementalMatchesBatch pushes interleaved multi-UE
+// events through per-UE collectors exactly as a Scan delivers them and
+// checks the corner cases the world never hits (no Category-1 event at
+// all, HO-only UEs, empty UEs).
+func TestCollectorIncrementalMatchesBatch(t *testing.T) {
+	tr := trace.New()
+	for ue := cp.UEID(0); ue < 3; ue++ {
+		if err := tr.SetDevice(ue, cp.Phone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// UE 0: normal session. UE 1: HO-only (fallback initial CONNECTED).
+	// UE 2: zero events.
+	evs := []trace.Event{
+		{T: 1 * cp.Minute, UE: 0, Type: cp.Attach},
+		{T: 2 * cp.Minute, UE: 1, Type: cp.Handover},
+		{T: 3 * cp.Minute, UE: 0, Type: cp.Handover},
+		{T: 4 * cp.Minute, UE: 1, Type: cp.Handover},
+		{T: 5 * cp.Minute, UE: 0, Type: cp.S1ConnRelease},
+		{T: 90 * cp.Minute, UE: 0, Type: cp.ServiceRequest},
+	}
+	for _, ev := range evs {
+		tr.Append(ev)
+	}
+	tr.Sort()
+	col, err := collectSource(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perUE := tr.PerUE()
+	for i, ue := range tr.UEsOfType(cp.Phone) {
+		want := collectUE(perUE[ue])
+		got := col.data[cp.Phone][i]
+		if got == nil {
+			if len(want.samples) != 0 {
+				t.Fatalf("UE %d: streamed collector missing, batch has %d keys", ue, len(want.samples))
+			}
+			continue
+		}
+		if !reflect.DeepEqual(want.samples, got.samples) || want.counts != got.counts {
+			t.Fatalf("UE %d: streamed collection differs from batch", ue)
+		}
 	}
 }

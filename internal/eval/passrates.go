@@ -205,6 +205,24 @@ type FitTestOptions struct {
 // fitted and tested against each distribution family; the result is the
 // fraction of units passing at the 5% level.
 func PassRates(tr *trace.Trace, quantities []Quantity, opt FitTestOptions) map[DistTest]map[cp.DeviceType]map[Quantity]float64 {
+	return passRatesSweep(collectTrace(tr, opt.Workers), quantities, opt)
+}
+
+// PassRatesSource runs the same sweep as PassRates from a streaming
+// source: the per-UE quantities are gathered in one pass over the
+// events, so the trace itself is never materialized. The rates are
+// identical to PassRates on the collected trace.
+func PassRatesSource(src trace.EventSource, quantities []Quantity, opt FitTestOptions) (map[DistTest]map[cp.DeviceType]map[Quantity]float64, error) {
+	col, err := collectSource(src)
+	if err != nil {
+		return nil, err
+	}
+	return passRatesSweep(col, quantities, opt), nil
+}
+
+// passRatesSweep is the shared back half of the sweep, independent of
+// how the per-UE quantities were collected.
+func passRatesSweep(col *collected, quantities []Quantity, opt FitTestOptions) map[DistTest]map[cp.DeviceType]map[Quantity]float64 {
 	if opt.MinSamples <= 0 {
 		opt.MinSamples = 8
 	}
@@ -216,23 +234,14 @@ func PassRates(tr *trace.Trace, quantities []Quantity, opt FitTestOptions) map[D
 		}
 	}
 
-	_, hi := tr.Span()
-	days := int((hi + cp.Day - 1) / cp.Day)
-	if days < 1 {
-		days = 1
-	}
+	days := col.days
 
 	for _, d := range cp.DeviceTypes {
-		ues := tr.UEsOfType(d)
+		ues := col.ues[d]
 		if len(ues) == 0 {
 			continue
 		}
-		sub := tr.FilterDevice(d)
-		perUE := sub.PerUE()
-		data := make([]*ueQuantities, len(ues))
-		par.For(len(ues), opt.Workers, func(i int) {
-			data[i] = collectUE(perUE[ues[i]])
-		})
+		data := col.data[d]
 		groups := groupUEs(ues, data, days, opt)
 
 		// Every (hour, UE group) is an independent test unit: pool the

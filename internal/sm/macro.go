@@ -21,9 +21,9 @@ func Category1(e cp.EventType) bool {
 	return false
 }
 
-// macroAfter returns the macro state a UE occupies right after a
+// MacroAfter returns the macro state a UE occupies right after a
 // Category-1 event.
-func macroAfter(e cp.EventType) cp.UEState {
+func MacroAfter(e cp.EventType) cp.UEState {
 	switch e {
 	case cp.Attach, cp.ServiceRequest:
 		return cp.StateConnected
@@ -32,7 +32,7 @@ func macroAfter(e cp.EventType) cp.UEState {
 	case cp.S1ConnRelease:
 		return cp.StateIdle
 	}
-	panic("sm: macroAfter of Category-2 event")
+	panic("sm: MacroAfter of Category-2 event")
 }
 
 // InferMacroInitial guesses the macro state a UE occupied before its
@@ -79,7 +79,7 @@ func MacroBreakdown(evs []trace.Event, initial cp.UEState) map[cp.EventType]map[
 	cur := initial
 	for _, ev := range evs {
 		if Category1(ev.Type) {
-			cur = macroAfter(ev.Type)
+			cur = MacroAfter(ev.Type)
 			add(ev.Type, cur)
 		} else {
 			add(ev.Type, cur)
@@ -101,7 +101,7 @@ func MacroSojourns(evs []trace.Event, initial cp.UEState) map[cp.UEState][]float
 		if !Category1(ev.Type) {
 			continue
 		}
-		next := macroAfter(ev.Type)
+		next := MacroAfter(ev.Type)
 		if next != cur {
 			if have {
 				out[cur] = append(out[cur], (ev.T - enteredAt).Seconds())

@@ -2,97 +2,56 @@ package trace
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
-
-	"cptraffic/internal/cp"
 )
 
 // Binary trace format: a compact delta-encoded encoding for large traces
 // (a 380K-UE busy hour is ~6x smaller than in the text format).
 //
-//	magic "CPTB" | u8 version=1
+//	magic "CPTB" | u8 version=2
 //	uvarint numUEs | numUEs x (uvarint ueDelta, u8 device)   — UEs ascending
-//	uvarint numEvents | numEvents x (uvarint tDelta, uvarint ue, u8 type)
+//	chunks: uvarint n>0 | n x (uvarint tDelta, uvarint ue, u8 type)
+//	terminator: uvarint 0
 //
 // Events are written in canonical time order; tDelta is the millisecond
-// difference from the previous event (the first is the absolute time).
+// difference from the previous event (the first is the absolute time),
+// continuing across chunk boundaries. Chunked framing (v2) lets a writer
+// stream events without knowing the total count up front; version 1 —
+// a single `uvarint numEvents` prefix instead of chunks — is still read.
 
 var binaryMagic = [4]byte{'C', 'P', 'T', 'B'}
 
-const binaryVersion = 1
+const binaryVersion = 2
 
 // WriteBinaryTrace serializes tr in the compact binary format. Events
 // are written in canonical sorted order regardless of their in-memory
-// order.
+// order. It is a convenience wrapper over StreamWriter for in-memory
+// traces; streaming producers should drive a StreamWriter directly.
 func WriteBinaryTrace(w io.Writer, tr *Trace) error {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := bw.Write(binaryMagic[:]); err != nil {
-		return err
-	}
-	if err := bw.WriteByte(binaryVersion); err != nil {
-		return err
-	}
-	var scratch [binary.MaxVarintLen64]byte
-	putUvarint := func(v uint64) error {
-		n := binary.PutUvarint(scratch[:], v)
-		_, err := bw.Write(scratch[:n])
-		return err
-	}
-
-	ues := tr.UEs()
-	if err := putUvarint(uint64(len(ues))); err != nil {
-		return err
-	}
-	prevUE := uint64(0)
-	for i, ue := range ues {
-		delta := uint64(ue)
-		if i > 0 {
-			delta = uint64(ue) - prevUE
-		}
-		prevUE = uint64(ue)
-		if err := putUvarint(delta); err != nil {
-			return err
-		}
-		if err := bw.WriteByte(byte(tr.Device[ue])); err != nil {
-			return err
-		}
-	}
-
-	events := append([]Event(nil), tr.Events...)
+	events := tr.Events
 	if !tr.Sorted() {
+		events = append([]Event(nil), tr.Events...)
 		tmp := &Trace{Events: events}
 		tmp.Sort()
-		events = tmp.Events
 	}
-	if err := putUvarint(uint64(len(events))); err != nil {
-		return err
-	}
-	prevT := cp.Millis(0)
-	for i, e := range events {
-		if e.T < 0 {
-			return fmt.Errorf("trace: binary format cannot encode negative timestamp %d", e.T)
-		}
-		delta := uint64(e.T)
-		if i > 0 {
-			delta = uint64(e.T - prevT)
-		}
-		prevT = e.T
-		if err := putUvarint(delta); err != nil {
-			return err
-		}
-		if err := putUvarint(uint64(e.UE)); err != nil {
-			return err
-		}
-		if err := bw.WriteByte(byte(e.Type)); err != nil {
+	sw := NewStreamWriter(w)
+	for _, ue := range tr.UEs() {
+		if err := sw.SetDevice(ue, tr.Device[ue]); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	for _, e := range events {
+		if err := sw.Write(e); err != nil {
+			return err
+		}
+	}
+	return sw.Close()
 }
 
-// ReadBinaryTrace parses a trace written by WriteBinaryTrace.
+// ReadBinaryTrace parses a trace written by WriteBinaryTrace (either
+// binary version). It materializes the whole trace; use Scanner or
+// FileSource to process large files incrementally.
 func ReadBinaryTrace(r io.Reader) (*Trace, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var magic [5]byte
@@ -102,83 +61,33 @@ func ReadBinaryTrace(r io.Reader) (*Trace, error) {
 	if [4]byte{magic[0], magic[1], magic[2], magic[3]} != binaryMagic {
 		return nil, fmt.Errorf("trace: bad binary magic %q", magic[:4])
 	}
-	if magic[4] != binaryVersion {
-		return nil, fmt.Errorf("trace: unsupported binary version %d", magic[4])
+	sc, err := newBinaryScanner(br, magic[4])
+	if err != nil {
+		return nil, err
 	}
-	return readBinaryBody(br)
+	return collectScanner(sc)
 }
 
-func readBinaryBody(br *bufio.Reader) (*Trace, error) {
+// collectScanner drains a Scanner into an in-memory trace.
+func collectScanner(sc *Scanner) (*Trace, error) {
 	tr := New()
-	numUEs, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading UE count: %w", err)
+	if err := sc.Devices(tr.SetDevice); err != nil {
+		return nil, err
 	}
-	prevUE := uint64(0)
-	for i := uint64(0); i < numUEs; i++ {
-		delta, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: reading UE %d: %w", i, err)
+	// The v1 count is untrusted input: cap the preallocation so a corrupt
+	// header cannot demand terabytes; append grows the rest if the events
+	// really are there.
+	if hint := sc.NumEventsHint(); hint > 0 {
+		if hint > 1<<20 {
+			hint = 1 << 20
 		}
-		ue := delta
-		if i > 0 {
-			ue = prevUE + delta
-		}
-		prevUE = ue
-		if ue > uint64(^cp.UEID(0)) {
-			return nil, fmt.Errorf("trace: UE id %d overflows", ue)
-		}
-		db, err := br.ReadByte()
-		if err != nil {
-			return nil, err
-		}
-		d := cp.DeviceType(db)
-		if !d.Valid() {
-			return nil, fmt.Errorf("trace: invalid device type %d", db)
-		}
-		if err := tr.SetDevice(cp.UEID(ue), d); err != nil {
-			return nil, err
-		}
+		tr.Events = make([]Event, 0, hint)
 	}
-	numEvents, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading event count: %w", err)
+	for sc.Scan() {
+		tr.Events = append(tr.Events, sc.Event())
 	}
-	// The count is untrusted input: cap the preallocation so a corrupt
-	// header cannot demand terabytes; append grows the rest if the
-	// events really are there.
-	prealloc := numEvents
-	if prealloc > 1<<20 {
-		prealloc = 1 << 20
-	}
-	tr.Events = make([]Event, 0, prealloc)
-	prevT := uint64(0)
-	for i := uint64(0); i < numEvents; i++ {
-		delta, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: reading event %d: %w", i, err)
-		}
-		t := delta
-		if i > 0 {
-			t = prevT + delta
-		}
-		prevT = t
-		ue, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, err
-		}
-		tb, err := br.ReadByte()
-		if err != nil {
-			return nil, err
-		}
-		et := cp.EventType(tb)
-		if !et.Valid() {
-			return nil, fmt.Errorf("trace: invalid event type %d", tb)
-		}
-		if _, ok := tr.Device[cp.UEID(ue)]; !ok {
-			return nil, fmt.Errorf("trace: event for unregistered UE %d", ue)
-		}
-		tr.Events = append(tr.Events, Event{T: cp.Millis(t), UE: cp.UEID(ue), Type: et})
+	if err := sc.Err(); err != nil {
+		return nil, err
 	}
 	return tr, nil
 }
@@ -199,10 +108,11 @@ func ReadAuto(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, err
 		}
-		if ver != binaryVersion {
-			return nil, fmt.Errorf("trace: unsupported binary version %d", ver)
+		sc, err := newBinaryScanner(br, ver)
+		if err != nil {
+			return nil, err
 		}
-		return readBinaryBody(br)
+		return collectScanner(sc)
 	}
 	return ReadTrace(br)
 }

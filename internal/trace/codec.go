@@ -4,10 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"strconv"
 	"strings"
-
-	"cptraffic/internal/cp"
 )
 
 // The on-disk trace format is a line-oriented text format chosen for easy
@@ -65,40 +62,22 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		fields := strings.Fields(line)
 		switch fields[0] {
 		case "U":
-			if len(fields) != 3 {
-				return nil, fmt.Errorf("trace: line %d: want 'U <ue> <device>', got %q", lineno, line)
-			}
-			ue, err := strconv.ParseUint(fields[1], 10, 32)
+			ue, dt, err := parseULine(fields, line, lineno)
 			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: bad UE id: %v", lineno, err)
+				return nil, err
 			}
-			dt, err := cp.ParseDeviceType(fields[2])
-			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
-			}
-			if err := tr.SetDevice(cp.UEID(ue), dt); err != nil {
+			if err := tr.SetDevice(ue, dt); err != nil {
 				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
 			}
 		case "E":
-			if len(fields) != 4 {
-				return nil, fmt.Errorf("trace: line %d: want 'E <ms> <ue> <type>', got %q", lineno, line)
-			}
-			t, err := strconv.ParseInt(fields[1], 10, 64)
+			ev, err := parseELine(fields, line, lineno)
 			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: bad timestamp: %v", lineno, err)
+				return nil, err
 			}
-			ue, err := strconv.ParseUint(fields[2], 10, 32)
-			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: bad UE id: %v", lineno, err)
+			if _, ok := tr.Device[ev.UE]; !ok {
+				return nil, fmt.Errorf("trace: line %d: event for unregistered UE %d", lineno, ev.UE)
 			}
-			et, err := cp.ParseEventType(fields[3])
-			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
-			}
-			if _, ok := tr.Device[cp.UEID(ue)]; !ok {
-				return nil, fmt.Errorf("trace: line %d: event for unregistered UE %d", lineno, ue)
-			}
-			tr.Events = append(tr.Events, Event{T: cp.Millis(t), UE: cp.UEID(ue), Type: et})
+			tr.Events = append(tr.Events, ev)
 		default:
 			return nil, fmt.Errorf("trace: line %d: unknown record %q", lineno, fields[0])
 		}

@@ -1,0 +1,712 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cptraffic/internal/cp"
+)
+
+// Scanner reads a trace file incrementally: the device registry is parsed
+// up front (O(UEs)), then events are decoded one at a time into a reused
+// record, so a multi-week trace is never resident in memory. It handles
+// both binary versions and the text format.
+//
+//	sc, err := trace.NewScanner(r)
+//	for sc.Scan() {
+//		ev := sc.Event()
+//		...
+//	}
+//	err = sc.Err()
+type Scanner struct {
+	br *bufio.Reader
+
+	devs   []deviceEntry // ascending UE order
+	devSet map[cp.UEID]cp.DeviceType
+
+	mode    scanMode
+	ev      Event
+	err     error
+	done    bool
+	started bool
+
+	// Binary decoding state.
+	remaining uint64 // v1: events left; v2: records left in current chunk
+	prevT     uint64
+	hint      uint64 // total event count when known (v1)
+
+	// Text decoding state.
+	lineno  int
+	pending *Event // first event line, parsed while reading the registry
+}
+
+type deviceEntry struct {
+	UE cp.UEID
+	D  cp.DeviceType
+}
+
+type scanMode uint8
+
+const (
+	scanBinaryV1 scanMode = iota
+	scanBinaryV2
+	scanText
+)
+
+// NewScanner detects the trace format from the leading bytes and parses
+// the header and device registry, leaving the event stream untouched.
+func NewScanner(r io.Reader) (*Scanner, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	head, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("trace: peeking format: %w", err)
+	}
+	if [4]byte{head[0], head[1], head[2], head[3]} == binaryMagic {
+		if _, err := br.Discard(4); err != nil {
+			return nil, err
+		}
+		ver, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		return newBinaryScanner(br, ver)
+	}
+	return newTextScanner(br)
+}
+
+// newBinaryScanner parses the UE table of a binary trace whose magic and
+// version byte have already been consumed.
+func newBinaryScanner(br *bufio.Reader, version byte) (*Scanner, error) {
+	s := &Scanner{br: br, devSet: make(map[cp.UEID]cp.DeviceType)}
+	switch version {
+	case 1:
+		s.mode = scanBinaryV1
+	case binaryVersion:
+		s.mode = scanBinaryV2
+	default:
+		return nil, fmt.Errorf("trace: unsupported binary version %d", version)
+	}
+	numUEs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading UE count: %w", err)
+	}
+	prevUE := uint64(0)
+	for i := uint64(0); i < numUEs; i++ {
+		delta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading UE %d: %w", i, err)
+		}
+		ue := delta
+		if i > 0 {
+			ue = prevUE + delta
+		}
+		prevUE = ue
+		if ue > uint64(^cp.UEID(0)) {
+			return nil, fmt.Errorf("trace: UE id %d overflows", ue)
+		}
+		db, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		d := cp.DeviceType(db)
+		if !d.Valid() {
+			return nil, fmt.Errorf("trace: invalid device type %d", db)
+		}
+		if err := s.register(cp.UEID(ue), d); err != nil {
+			return nil, err
+		}
+	}
+	if s.mode == scanBinaryV1 {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading event count: %w", err)
+		}
+		s.remaining, s.hint = n, n
+	}
+	return s, nil
+}
+
+// newTextScanner parses the text header plus the leading U lines. The
+// streaming text contract requires every registration before the first
+// event; ReadTrace remains the permissive whole-file parser.
+func newTextScanner(br *bufio.Reader) (*Scanner, error) {
+	s := &Scanner{br: br, mode: scanText, devSet: make(map[cp.UEID]cp.DeviceType)}
+	line, err := s.readLine()
+	if err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("trace: empty input")
+		}
+		return nil, err
+	}
+	if strings.TrimSpace(line) != headerLine {
+		return nil, fmt.Errorf("trace: bad header %q", strings.TrimSpace(line))
+	}
+	for {
+		line, err := s.readLine()
+		if err == io.EOF {
+			s.done = true
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "U":
+			ue, d, err := parseULine(fields, line, s.lineno)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.register(ue, d); err != nil {
+				return nil, err
+			}
+		case "E":
+			ev, err := parseELine(fields, line, s.lineno)
+			if err != nil {
+				return nil, err
+			}
+			s.pending = &ev
+			// Registrations are complete; sort them into the canonical
+			// ascending order the Devices contract promises.
+			sort.Slice(s.devs, func(i, j int) bool { return s.devs[i].UE < s.devs[j].UE })
+			return s, nil
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown record %q", s.lineno, fields[0])
+		}
+	}
+	sort.Slice(s.devs, func(i, j int) bool { return s.devs[i].UE < s.devs[j].UE })
+	return s, nil
+}
+
+func (s *Scanner) register(ue cp.UEID, d cp.DeviceType) error {
+	if prev, ok := s.devSet[ue]; ok {
+		if prev != d {
+			return fmt.Errorf("trace: UE %d already registered as %v, cannot change to %v", ue, prev, d)
+		}
+		return nil
+	}
+	s.devSet[ue] = d
+	s.devs = append(s.devs, deviceEntry{UE: ue, D: d})
+	return nil
+}
+
+func (s *Scanner) readLine() (string, error) {
+	line, err := s.br.ReadString('\n')
+	if err == io.EOF && line != "" {
+		err = nil // final line without a trailing newline
+	}
+	if err != nil {
+		return "", err
+	}
+	s.lineno++
+	return line, nil
+}
+
+// NumUEs returns the number of registered UEs.
+func (s *Scanner) NumUEs() int { return len(s.devs) }
+
+// NumEventsHint returns the total event count when the header carries one
+// (binary v1), else 0 — useful only for preallocation.
+func (s *Scanner) NumEventsHint() uint64 { return s.hint }
+
+// Device returns the device type of a registered UE.
+func (s *Scanner) Device(ue cp.UEID) (cp.DeviceType, bool) {
+	d, ok := s.devSet[ue]
+	return d, ok
+}
+
+// Devices iterates the registry in ascending UE order.
+func (s *Scanner) Devices(fn func(cp.UEID, cp.DeviceType) error) error {
+	for _, e := range s.devs {
+		if err := fn(e.UE, e.D); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scan advances to the next event, returning false at the end of the
+// stream or on error (distinguished by Err).
+func (s *Scanner) Scan() bool {
+	if s.done || s.err != nil {
+		return false
+	}
+	switch s.mode {
+	case scanBinaryV1, scanBinaryV2:
+		return s.scanBinary()
+	default:
+		return s.scanText()
+	}
+}
+
+// Event returns the record decoded by the last successful Scan. It is
+// overwritten by the next Scan.
+func (s *Scanner) Event() Event { return s.ev }
+
+// Err returns the first error encountered (nil after a clean end).
+func (s *Scanner) Err() error { return s.err }
+
+func (s *Scanner) fail(err error) bool {
+	s.err = err
+	return false
+}
+
+func (s *Scanner) scanBinary() bool {
+	if s.mode == scanBinaryV2 {
+		// Chunked: a zero chunk length terminates the stream.
+		for s.remaining == 0 {
+			n, err := binary.ReadUvarint(s.br)
+			if err != nil {
+				return s.fail(fmt.Errorf("trace: reading event chunk: %w", err))
+			}
+			if n == 0 {
+				s.done = true
+				return false
+			}
+			s.remaining = n
+		}
+	} else if s.remaining == 0 {
+		s.done = true
+		return false
+	}
+	delta, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		return s.fail(fmt.Errorf("trace: reading event: %w", err))
+	}
+	t := delta
+	if s.started {
+		t = s.prevT + delta
+	}
+	if t > math.MaxInt64 {
+		return s.fail(fmt.Errorf("trace: timestamp %d overflows", t))
+	}
+	s.prevT = t
+	s.started = true
+	ue, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		return s.fail(err)
+	}
+	tb, err := s.br.ReadByte()
+	if err != nil {
+		return s.fail(err)
+	}
+	et := cp.EventType(tb)
+	if !et.Valid() {
+		return s.fail(fmt.Errorf("trace: invalid event type %d", tb))
+	}
+	if _, ok := s.devSet[cp.UEID(ue)]; !ok {
+		return s.fail(fmt.Errorf("trace: event for unregistered UE %d", ue))
+	}
+	s.remaining--
+	s.ev = Event{T: cp.Millis(t), UE: cp.UEID(ue), Type: et}
+	return true
+}
+
+func (s *Scanner) scanText() bool {
+	if s.pending != nil {
+		s.ev = *s.pending
+		s.pending = nil
+		return s.checkTextEvent()
+	}
+	for {
+		line, err := s.readLine()
+		if err == io.EOF {
+			s.done = true
+			return false
+		}
+		if err != nil {
+			return s.fail(err)
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "E":
+			ev, err := parseELine(fields, line, s.lineno)
+			if err != nil {
+				return s.fail(err)
+			}
+			s.ev = ev
+			return s.checkTextEvent()
+		case "U":
+			return s.fail(fmt.Errorf("trace: line %d: registration after events (streaming text requires all U lines first)", s.lineno))
+		default:
+			return s.fail(fmt.Errorf("trace: line %d: unknown record %q", s.lineno, fields[0]))
+		}
+	}
+}
+
+func (s *Scanner) checkTextEvent() bool {
+	if _, ok := s.devSet[s.ev.UE]; !ok {
+		return s.fail(fmt.Errorf("trace: line %d: event for unregistered UE %d", s.lineno, s.ev.UE))
+	}
+	if s.ev.T < 0 {
+		return s.fail(fmt.Errorf("trace: line %d: negative timestamp %d", s.lineno, s.ev.T))
+	}
+	return true
+}
+
+func parseULine(fields []string, line string, lineno int) (cp.UEID, cp.DeviceType, error) {
+	if len(fields) != 3 {
+		return 0, 0, fmt.Errorf("trace: line %d: want 'U <ue> <device>', got %q", lineno, line)
+	}
+	ue, err := strconv.ParseUint(fields[1], 10, 32)
+	if err != nil {
+		return 0, 0, fmt.Errorf("trace: line %d: bad UE id: %v", lineno, err)
+	}
+	dt, err := cp.ParseDeviceType(fields[2])
+	if err != nil {
+		return 0, 0, fmt.Errorf("trace: line %d: %v", lineno, err)
+	}
+	return cp.UEID(ue), dt, nil
+}
+
+func parseELine(fields []string, line string, lineno int) (Event, error) {
+	if len(fields) != 4 {
+		return Event{}, fmt.Errorf("trace: line %d: want 'E <ms> <ue> <type>', got %q", lineno, line)
+	}
+	t, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: line %d: bad timestamp: %v", lineno, err)
+	}
+	ue, err := strconv.ParseUint(fields[2], 10, 32)
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: line %d: bad UE id: %v", lineno, err)
+	}
+	et, err := cp.ParseEventType(fields[3])
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: line %d: %v", lineno, err)
+	}
+	return Event{T: cp.Millis(t), UE: cp.UEID(ue), Type: et}, nil
+}
+
+// streamChunkSize is the event count per binary-v2 chunk: small enough
+// that a writer's buffered window stays a few KB, large enough that the
+// per-chunk length prefix is noise (<0.1% of the record bytes).
+const streamChunkSize = 1024
+
+// StreamWriter writes the binary trace format incrementally: register
+// every UE (ascending order), then Write events in canonical order, then
+// Close. Unlike WriteBinaryTrace it never needs the event count — events
+// are framed in chunks with a zero terminator (format version 2) — so a
+// generator can pour an unbounded stream through O(1) writer state.
+type StreamWriter struct {
+	bw     *bufio.Writer
+	devs   []deviceEntry
+	devSet map[cp.UEID]cp.DeviceType
+
+	started bool // header + UE table written
+	closed  bool
+	prevT   cp.Millis
+	last    Event
+	hasLast bool
+
+	chunk   []byte // encoded records of the pending chunk, reused across flushes
+	chunkN  int
+	scratch [binary.MaxVarintLen64]byte
+}
+
+// NewStreamWriter prepares an incremental binary trace writer on w.
+func NewStreamWriter(w io.Writer) *StreamWriter {
+	return &StreamWriter{
+		bw:     bufio.NewWriterSize(w, 1<<16),
+		devSet: make(map[cp.UEID]cp.DeviceType),
+	}
+}
+
+// SetDevice registers a UE. All registrations must precede the first
+// Write and arrive in ascending UE order (the EventSource contract).
+func (sw *StreamWriter) SetDevice(ue cp.UEID, d cp.DeviceType) error {
+	if sw.started {
+		return fmt.Errorf("trace: SetDevice(%d) after events started", ue)
+	}
+	if !d.Valid() {
+		return fmt.Errorf("trace: invalid device type %d", d)
+	}
+	if prev, ok := sw.devSet[ue]; ok {
+		if prev != d {
+			return fmt.Errorf("trace: UE %d already registered as %v, cannot change to %v", ue, prev, d)
+		}
+		return nil
+	}
+	if n := len(sw.devs); n > 0 && sw.devs[n-1].UE >= ue {
+		return fmt.Errorf("trace: UE %d registered out of order (after %d)", ue, sw.devs[n-1].UE)
+	}
+	sw.devSet[ue] = d
+	sw.devs = append(sw.devs, deviceEntry{UE: ue, D: d})
+	return nil
+}
+
+func (sw *StreamWriter) putUvarint(v uint64) error {
+	n := binary.PutUvarint(sw.scratch[:], v)
+	_, err := sw.bw.Write(sw.scratch[:n])
+	return err
+}
+
+func (sw *StreamWriter) writeHeader() error {
+	if _, err := sw.bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	if err := sw.bw.WriteByte(binaryVersion); err != nil {
+		return err
+	}
+	if err := sw.putUvarint(uint64(len(sw.devs))); err != nil {
+		return err
+	}
+	prevUE := uint64(0)
+	for i, e := range sw.devs {
+		delta := uint64(e.UE)
+		if i > 0 {
+			delta = uint64(e.UE) - prevUE
+		}
+		prevUE = uint64(e.UE)
+		if err := sw.putUvarint(delta); err != nil {
+			return err
+		}
+		if err := sw.bw.WriteByte(byte(e.D)); err != nil {
+			return err
+		}
+	}
+	sw.started = true
+	return nil
+}
+
+// Write appends one event. Events must be registered, non-negative, and
+// arrive in canonical order.
+func (sw *StreamWriter) Write(e Event) error {
+	if sw.closed {
+		return fmt.Errorf("trace: Write after Close")
+	}
+	if _, ok := sw.devSet[e.UE]; !ok {
+		return fmt.Errorf("trace: event for unregistered UE %d", e.UE)
+	}
+	if e.T < 0 {
+		return fmt.Errorf("trace: binary format cannot encode negative timestamp %d", e.T)
+	}
+	if sw.hasLast && e.Before(sw.last) {
+		return fmt.Errorf("trace: event %v out of canonical order (after %v)", e, sw.last)
+	}
+	if !sw.started {
+		if err := sw.writeHeader(); err != nil {
+			return err
+		}
+	}
+	delta := uint64(e.T)
+	if sw.hasLast {
+		delta = uint64(e.T - sw.prevT)
+	}
+	n := binary.PutUvarint(sw.scratch[:], delta)
+	sw.chunk = append(sw.chunk, sw.scratch[:n]...)
+	n = binary.PutUvarint(sw.scratch[:], uint64(e.UE))
+	sw.chunk = append(sw.chunk, sw.scratch[:n]...)
+	sw.chunk = append(sw.chunk, byte(e.Type))
+	sw.chunkN++
+	sw.prevT = e.T
+	sw.last, sw.hasLast = e, true
+	if sw.chunkN >= streamChunkSize {
+		return sw.flushChunk()
+	}
+	return nil
+}
+
+func (sw *StreamWriter) flushChunk() error {
+	if sw.chunkN == 0 {
+		return nil
+	}
+	if err := sw.putUvarint(uint64(sw.chunkN)); err != nil {
+		return err
+	}
+	if _, err := sw.bw.Write(sw.chunk); err != nil {
+		return err
+	}
+	sw.chunk = sw.chunk[:0]
+	sw.chunkN = 0
+	return nil
+}
+
+// Close flushes the final chunk, writes the stream terminator, and
+// flushes the buffer. It does not close the underlying writer.
+func (sw *StreamWriter) Close() error {
+	if sw.closed {
+		return nil
+	}
+	sw.closed = true
+	if !sw.started {
+		if err := sw.writeHeader(); err != nil {
+			return err
+		}
+	}
+	if err := sw.flushChunk(); err != nil {
+		return err
+	}
+	if err := sw.putUvarint(0); err != nil {
+		return err
+	}
+	return sw.bw.Flush()
+}
+
+// TextWriter writes the line-oriented text format incrementally, with the
+// same SetDevice/Write/Close protocol as StreamWriter. Its output for a
+// canonical stream is byte-identical to WriteTrace of the collected
+// trace.
+type TextWriter struct {
+	bw     *bufio.Writer
+	devSet map[cp.UEID]cp.DeviceType
+
+	wroteHeader bool
+	seenEvent   bool
+	closed      bool
+	last        Event
+	hasLast     bool
+}
+
+// NewTextWriter prepares an incremental text trace writer on w.
+func NewTextWriter(w io.Writer) *TextWriter {
+	return &TextWriter{bw: bufio.NewWriterSize(w, 1<<16), devSet: make(map[cp.UEID]cp.DeviceType)}
+}
+
+func (tw *TextWriter) header() error {
+	if tw.wroteHeader {
+		return nil
+	}
+	tw.wroteHeader = true
+	_, err := fmt.Fprintln(tw.bw, headerLine)
+	return err
+}
+
+// SetDevice registers a UE; registrations must precede the first Write.
+func (tw *TextWriter) SetDevice(ue cp.UEID, d cp.DeviceType) error {
+	if tw.seenEvent {
+		return fmt.Errorf("trace: SetDevice(%d) after events started", ue)
+	}
+	if !d.Valid() {
+		return fmt.Errorf("trace: invalid device type %d", d)
+	}
+	if prev, ok := tw.devSet[ue]; ok {
+		if prev != d {
+			return fmt.Errorf("trace: UE %d already registered as %v, cannot change to %v", ue, prev, d)
+		}
+		return nil
+	}
+	if err := tw.header(); err != nil {
+		return err
+	}
+	tw.devSet[ue] = d
+	_, err := fmt.Fprintf(tw.bw, "U %d %s\n", ue, d)
+	return err
+}
+
+// Write appends one event line.
+func (tw *TextWriter) Write(e Event) error {
+	if tw.closed {
+		return fmt.Errorf("trace: Write after Close")
+	}
+	if _, ok := tw.devSet[e.UE]; !ok {
+		return fmt.Errorf("trace: event for unregistered UE %d", e.UE)
+	}
+	if tw.hasLast && e.Before(tw.last) {
+		return fmt.Errorf("trace: event %v out of canonical order (after %v)", e, tw.last)
+	}
+	if err := tw.header(); err != nil {
+		return err
+	}
+	tw.seenEvent = true
+	tw.last, tw.hasLast = e, true
+	_, err := fmt.Fprintf(tw.bw, "E %d %d %s\n", e.T, e.UE, e.Type)
+	return err
+}
+
+// Close flushes the buffer; it does not close the underlying writer.
+func (tw *TextWriter) Close() error {
+	if tw.closed {
+		return nil
+	}
+	tw.closed = true
+	if err := tw.header(); err != nil {
+		return err
+	}
+	return tw.bw.Flush()
+}
+
+// FileSource is a re-iterable EventSource backed by a trace file (binary
+// or text). Every Devices/Scan call reopens the file, so concurrent
+// passes are independent and peak memory is the registry plus one decode
+// record — never the event sequence.
+type FileSource struct {
+	Path string
+}
+
+// NewFileSource validates that path holds a parseable trace header and
+// returns the source.
+func NewFileSource(path string) (*FileSource, error) {
+	fs := &FileSource{Path: path}
+	f, sc, err := fs.open()
+	if err != nil {
+		return nil, err
+	}
+	f.Close()
+	_ = sc
+	return fs, nil
+}
+
+func (fs *FileSource) open() (*os.File, *Scanner, error) {
+	f, err := os.Open(fs.Path)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc, err := NewScanner(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return f, sc, nil
+}
+
+// Devices implements EventSource from the file's registry table.
+func (fs *FileSource) Devices(fn func(cp.UEID, cp.DeviceType) error) error {
+	f, sc, err := fs.open()
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return sc.Devices(fn)
+}
+
+// Scan implements EventSource, enforcing the canonical-order stream
+// contract as it decodes.
+func (fs *FileSource) Scan(fn func(Event) error) error {
+	f, sc, err := fs.open()
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var last Event
+	hasLast := false
+	for sc.Scan() {
+		ev := sc.Event()
+		if hasLast && ev.Before(last) {
+			return fmt.Errorf("trace: %s: event %v out of canonical order (after %v)", fs.Path, ev, last)
+		}
+		last, hasLast = ev, true
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

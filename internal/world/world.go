@@ -31,70 +31,84 @@ type Options struct {
 	Workers int
 }
 
-// Generate simulates the UE population and returns the sorted trace.
-func Generate(opt Options) (*trace.Trace, error) {
+// resolveMix validates opt and returns the normalized device mix.
+func resolveMix(opt Options) ([cp.NumDeviceTypes]float64, error) {
+	mix := DefaultMix
 	if opt.NumUEs <= 0 {
-		return nil, fmt.Errorf("world: NumUEs must be positive")
+		return mix, fmt.Errorf("world: NumUEs must be positive")
 	}
 	if opt.Duration <= 0 {
-		return nil, fmt.Errorf("world: Duration must be positive")
+		return mix, fmt.Errorf("world: Duration must be positive")
 	}
 	if opt.Offset < 0 {
-		return nil, fmt.Errorf("world: Offset must be non-negative")
+		return mix, fmt.Errorf("world: Offset must be non-negative")
 	}
-	mix := DefaultMix
 	if opt.Mix != nil {
 		if len(opt.Mix) != cp.NumDeviceTypes {
-			return nil, fmt.Errorf("world: Mix must have %d entries", cp.NumDeviceTypes)
+			return mix, fmt.Errorf("world: Mix must have %d entries", cp.NumDeviceTypes)
 		}
 		var sum float64
 		for d, m := range opt.Mix {
 			if m < 0 {
-				return nil, fmt.Errorf("world: negative mix entry")
+				return mix, fmt.Errorf("world: negative mix entry")
 			}
 			mix[d] = m
 			sum += m
 		}
 		if sum <= 0 {
-			return nil, fmt.Errorf("world: empty mix")
+			return mix, fmt.Errorf("world: empty mix")
 		}
 		for d := range mix {
 			mix[d] /= sum
 		}
 	}
+	return mix, nil
+}
 
+// newUESim derives UE i's RNG stream and device, and prepares its
+// simulator. The device pick consumes the stream's first draw, so the
+// derivation is identical however many times it is repeated.
+func newUESim(opt Options, mix [cp.NumDeviceTypes]float64, root *stats.RNG, i int) (*ueSim, cp.DeviceType) {
+	r := root.Split(uint64(i) + 1)
+	u := r.Float64()
+	var acc float64
+	dev := cp.Tablet
+	for d, m := range mix {
+		acc += m
+		if u < acc {
+			dev = cp.DeviceType(d)
+			break
+		}
+	}
+	return &ueSim{
+		ue:    cp.UEID(i),
+		p:     &deviceParams[dev],
+		rng:   r,
+		start: opt.Offset,
+		end:   opt.Offset + opt.Duration,
+	}, dev
+}
+
+// Generate simulates the UE population and returns the sorted trace.
+func Generate(opt Options) (*trace.Trace, error) {
+	mix, err := resolveMix(opt)
+	if err != nil {
+		return nil, err
+	}
 	workers := par.Workers(opt.Workers, opt.NumUEs)
 
 	root := stats.NewRNG(opt.Seed)
+	sims := make([]*ueSim, opt.NumUEs)
 	devices := make([]cp.DeviceType, opt.NumUEs)
-	rngs := make([]*stats.RNG, opt.NumUEs)
-	for i := range devices {
-		r := root.Split(uint64(i) + 1)
-		rngs[i] = r
-		u := r.Float64()
-		var acc float64
-		devices[i] = cp.Tablet
-		for d, m := range mix {
-			acc += m
-			if u < acc {
-				devices[i] = cp.DeviceType(d)
-				break
-			}
-		}
+	for i := range sims {
+		sims[i], devices[i] = newUESim(opt, mix, root, i)
 	}
 
 	out := make([][]trace.Event, workers)
 	par.Do(workers, func(w int) {
 		var evs []trace.Event
 		for i := w; i < opt.NumUEs; i += workers {
-			u := ueSim{
-				ue:    cp.UEID(i),
-				p:     &deviceParams[devices[i]],
-				rng:   rngs[i],
-				start: opt.Offset,
-				end:   opt.Offset + opt.Duration,
-			}
-			evs = append(evs, u.run()...)
+			evs = append(evs, sims[i].run()...)
 		}
 		out[w] = evs
 	})
@@ -115,7 +129,54 @@ func Generate(opt Options) (*trace.Trace, error) {
 	return tr, nil
 }
 
-// ueSim is the behavioral simulation of one UE.
+// Source is a simulation-backed trace.EventSource: scanning it runs the
+// ground-truth behavioral simulation on the fly and k-way merges the
+// per-UE streams, holding O(NumUEs) state instead of the whole trace.
+// Devices and Scan both re-derive the population from the seed, so the
+// source is re-iterable and successive passes agree.
+type Source struct {
+	opt Options
+	mix [cp.NumDeviceTypes]float64
+}
+
+// NewSource validates the options once and returns the lazy source; no
+// simulation happens until Scan.
+func NewSource(opt Options) (*Source, error) {
+	mix, err := resolveMix(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Source{opt: opt, mix: mix}, nil
+}
+
+// Devices reports every UE's device type in ascending UE order.
+func (s *Source) Devices(fn func(cp.UEID, cp.DeviceType) error) error {
+	root := stats.NewRNG(s.opt.Seed)
+	for i := 0; i < s.opt.NumUEs; i++ {
+		_, dev := newUESim(s.opt, s.mix, root, i)
+		if err := fn(cp.UEID(i), dev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scan simulates the population and delivers its events in canonical
+// order.
+func (s *Source) Scan(fn func(trace.Event) error) error {
+	root := stats.NewRNG(s.opt.Seed)
+	its := make([]trace.EventIterator, s.opt.NumUEs)
+	for i := range its {
+		sim, _ := newUESim(s.opt, s.mix, root, i)
+		its[i] = sim
+	}
+	return trace.MergeScan(fn, its)
+}
+
+// ueSim is the behavioral simulation of one UE, exposed as an
+// incremental iterator (it implements trace.EventIterator): Next
+// advances the simulation just far enough to produce the next event, so
+// a population can be streamed without holding anyone's future.
 type ueSim struct {
 	ue    cp.UEID
 	p     *params
@@ -123,7 +184,21 @@ type ueSim struct {
 	start cp.Millis
 	end   cp.Millis
 
-	evs []trace.Event
+	// queue holds events already decided but not yet delivered (one
+	// connected phase produces several at once); qhead is the next to
+	// deliver, so the backing array is reused across phases.
+	queue []trace.Event
+	qhead int
+
+	// lastT is the last emitted event time (the monotonicity guard must
+	// survive delivery, so it cannot live in the queue).
+	lastT   cp.Millis
+	hasLast bool
+
+	started    bool
+	done       bool
+	t          float64 // simulation clock, seconds
+	registered bool
 
 	actMult float64 // per-UE activity level (heavy-tailed)
 	mobMult float64 // per-UE mobility level
@@ -144,17 +219,41 @@ func (u *ueSim) emit(tSec float64, e cp.EventType) {
 	}
 	// Monotonicity guard: behavioral delays can round to the same
 	// millisecond; nudge forward to keep per-UE event order strict.
-	if n := len(u.evs); n > 0 && t <= u.evs[n-1].T {
-		t = u.evs[n-1].T + 1
+	if u.hasLast && t <= u.lastT {
+		t = u.lastT + 1
 	}
 	if t >= u.end {
 		return
 	}
-	u.evs = append(u.evs, trace.Event{T: t, UE: u.ue, Type: e})
+	u.lastT, u.hasLast = t, true
+	u.queue = append(u.queue, trace.Event{T: t, UE: u.ue, Type: e})
 }
 
-// run simulates the UE over [0, end) and returns its events.
-func (u *ueSim) run() []trace.Event {
+// Next returns the UE's next event, or ok=false when the window is done.
+func (u *ueSim) Next() (trace.Event, bool) {
+	for {
+		if u.qhead < len(u.queue) {
+			ev := u.queue[u.qhead]
+			u.qhead++
+			if u.qhead == len(u.queue) {
+				u.queue, u.qhead = u.queue[:0], 0
+			}
+			return ev, true
+		}
+		if u.done {
+			return trace.Event{}, false
+		}
+		if !u.started {
+			u.init()
+			continue
+		}
+		u.step()
+	}
+}
+
+// init draws the UE's per-lifetime latent state and initial condition.
+func (u *ueSim) init() {
+	u.started = true
 	p := u.p
 	r := u.rng
 	u.actMult = r.Lognormal(-p.actSigma*p.actSigma/2, p.actSigma) // mean 1
@@ -162,62 +261,81 @@ func (u *ueSim) run() []trace.Event {
 	startSec := u.start.Seconds()
 	u.burstOn = r.Float64() < p.burstOnMean/(p.burstOnMean+p.burstOffMean)
 	u.burstUntil = u.nextBurstSwitch(startSec)
+	u.t = startSec
+	u.registered = r.Float64() >= p.pStartOff
+	if !u.registered {
+		u.t += u.offDuration(r) * r.Float64() // mid-way through an off period
+	}
+}
 
+// step advances the simulation by one decision, queueing the resulting
+// event(s) or marking the UE done.
+func (u *ueSim) step() {
+	r := u.rng
 	endSec := u.end.Seconds()
-	t := startSec
-	registered := r.Float64() >= p.pStartOff
-
-	if !registered {
-		t += u.offDuration(r) * r.Float64() // mid-way through an off period
+	if u.t >= endSec {
+		u.done = true
+		return
 	}
-
-	for t < endSec {
-		if !registered {
-			// Powered off: wait, then attach (attach enters CONNECTED).
-			u.emit(t, cp.Attach)
-			t = u.connectedPhase(t)
-			registered = true
-			continue
-		}
-		// IDLE: race between next session, periodic TAU, and power-off.
-		// A pending follow-on session preempts the background arrival
-		// process.
-		var tSess float64
-		if u.followWait > 0 {
-			tSess = t + u.followWait
-			u.followWait = 0
-		} else {
-			tSess = t + u.sessionWait(t)
-		}
-		tTau := t + u.idleTauWait(r)
-		tOff := t + u.powerOffWait(r, t)
-		switch {
-		case tOff <= tSess && tOff <= tTau:
-			if tOff >= endSec {
-				return u.evs
-			}
-			u.emit(tOff, cp.Detach)
-			registered = false
-			t = tOff + u.offDuration(r)
-		case tTau <= tSess:
-			if tTau >= endSec {
-				return u.evs
-			}
-			// Periodic TAU in IDLE, released by an S1_CONN_REL shortly
-			// after (Fig. 5, bottom right).
-			u.emit(tTau, cp.TrackingAreaUpdate)
-			rel := tTau + math.Max(r.Lognormal(u.p.tauRelMu, u.p.tauRelSigma), 0.01)
-			u.emit(rel, cp.S1ConnRelease)
-			t = rel
-		default:
-			if tSess >= endSec {
-				return u.evs
-			}
-			u.emit(tSess, cp.ServiceRequest)
-			t = u.connectedPhase(tSess)
-		}
+	if !u.registered {
+		// Powered off: wait, then attach (attach enters CONNECTED).
+		u.emit(u.t, cp.Attach)
+		u.t = u.connectedPhase(u.t)
+		u.registered = true
+		return
 	}
-	return u.evs
+	// IDLE: race between next session, periodic TAU, and power-off.
+	// A pending follow-on session preempts the background arrival
+	// process.
+	var tSess float64
+	if u.followWait > 0 {
+		tSess = u.t + u.followWait
+		u.followWait = 0
+	} else {
+		tSess = u.t + u.sessionWait(u.t)
+	}
+	tTau := u.t + u.idleTauWait(r)
+	tOff := u.t + u.powerOffWait(r, u.t)
+	switch {
+	case tOff <= tSess && tOff <= tTau:
+		if tOff >= endSec {
+			u.done = true
+			return
+		}
+		u.emit(tOff, cp.Detach)
+		u.registered = false
+		u.t = tOff + u.offDuration(r)
+	case tTau <= tSess:
+		if tTau >= endSec {
+			u.done = true
+			return
+		}
+		// Periodic TAU in IDLE, released by an S1_CONN_REL shortly
+		// after (Fig. 5, bottom right).
+		u.emit(tTau, cp.TrackingAreaUpdate)
+		rel := tTau + math.Max(r.Lognormal(u.p.tauRelMu, u.p.tauRelSigma), 0.01)
+		u.emit(rel, cp.S1ConnRelease)
+		u.t = rel
+	default:
+		if tSess >= endSec {
+			u.done = true
+			return
+		}
+		u.emit(tSess, cp.ServiceRequest)
+		u.t = u.connectedPhase(tSess)
+	}
+}
+
+// run drains the iterator, returning the UE's full event list.
+func (u *ueSim) run() []trace.Event {
+	var evs []trace.Event
+	for {
+		ev, ok := u.Next()
+		if !ok {
+			return evs
+		}
+		evs = append(evs, ev)
+	}
 }
 
 // connectedPhase simulates one CONNECTED visit beginning at tSec (the

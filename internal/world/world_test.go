@@ -274,3 +274,74 @@ func TestCustomMix(t *testing.T) {
 		}
 	}
 }
+
+// TestSourceMatchesGenerate: the streaming source must reproduce
+// Generate exactly — same registrations, same events, same order — and
+// be re-iterable.
+func TestSourceMatchesGenerate(t *testing.T) {
+	opt := Options{NumUEs: 150, Duration: 5 * cp.Hour, Seed: 21}
+	batch, err := Generate(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSource(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		got, err := trace.Collect(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Device, batch.Device) {
+			t.Fatalf("pass %d: device registrations differ", pass)
+		}
+		if !reflect.DeepEqual(got.Events, batch.Events) {
+			t.Fatalf("pass %d: collected %d events, batch %d; contents differ",
+				pass, len(got.Events), len(batch.Events))
+		}
+	}
+}
+
+func TestSourceWithOffsetAndMix(t *testing.T) {
+	opt := Options{NumUEs: 60, Duration: 2 * cp.Hour, Offset: 30 * cp.Hour,
+		Seed: 22, Mix: []float64{1, 0, 0}}
+	batch, err := Generate(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSource(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Device, batch.Device) {
+		t.Fatal("device registrations differ")
+	}
+	if !reflect.DeepEqual(got.Events, batch.Events) {
+		t.Fatal("events differ")
+	}
+	for _, d := range got.Device {
+		if d != cp.Phone {
+			t.Fatalf("mix override ignored: got %v", d)
+		}
+	}
+}
+
+func TestNewSourceValidates(t *testing.T) {
+	if _, err := NewSource(Options{NumUEs: 0, Duration: cp.Hour}); err == nil {
+		t.Fatal("NumUEs=0 accepted")
+	}
+	if _, err := NewSource(Options{NumUEs: 5, Duration: 0}); err == nil {
+		t.Fatal("Duration=0 accepted")
+	}
+	if _, err := NewSource(Options{NumUEs: 5, Duration: cp.Hour, Offset: -1}); err == nil {
+		t.Fatal("negative Offset accepted")
+	}
+	if _, err := NewSource(Options{NumUEs: 5, Duration: cp.Hour, Mix: []float64{1}}); err == nil {
+		t.Fatal("short Mix accepted")
+	}
+}

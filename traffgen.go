@@ -86,11 +86,34 @@ type Trace = trace.Trace
 // TraceEvent is a single timestamped, UE-labeled control event.
 type TraceEvent = trace.Event
 
+// NewTrace returns an empty in-memory trace (also usable as an
+// EventSink or, once filled, an EventSource).
+func NewTrace() *Trace { return trace.New() }
+
 // ReadTrace parses the line-oriented trace format.
 func ReadTrace(r io.Reader) (*Trace, error) { return trace.ReadTrace(r) }
 
 // WriteTrace serializes a trace.
 func WriteTrace(w io.Writer, tr *Trace) error { return trace.WriteTrace(w, tr) }
+
+// Streaming abstraction re-exports. An EventSource delivers a trace
+// incrementally — device registrations first, then events in canonical
+// (time, UE, type) order — so pipelines can run in bounded memory; an
+// EventSink receives one the same way. *Trace implements both, making
+// the in-memory path the reference implementation.
+type (
+	// EventSource is an ordered, re-iterable stream of trace events.
+	EventSource = trace.EventSource
+	// EventSink consumes device registrations and ordered events.
+	EventSink = trace.EventSink
+)
+
+// NewFileSource opens an on-disk trace (binary or text) as a re-iterable
+// EventSource that reads incrementally instead of loading the file.
+func NewFileSource(path string) (EventSource, error) { return trace.NewFileSource(path) }
+
+// CollectTrace materializes a source into an in-memory trace.
+func CollectTrace(src EventSource) (*Trace, error) { return trace.Collect(src) }
 
 // WorldOptions configures the ground-truth behavioral simulator.
 type WorldOptions = world.Options
@@ -98,6 +121,10 @@ type WorldOptions = world.Options
 // SimulateWorld synthesizes a carrier-style ground-truth trace from the
 // behavioral UE simulator (the stand-in for a production collection).
 func SimulateWorld(opt WorldOptions) (*Trace, error) { return world.Generate(opt) }
+
+// WorldSource returns a simulation-backed EventSource that produces
+// exactly SimulateWorld's trace while holding only O(NumUEs) state.
+func WorldSource(opt WorldOptions) (EventSource, error) { return world.NewSource(opt) }
 
 // Model is a fitted control-plane traffic model.
 type Model = core.ModelSet
@@ -144,6 +171,23 @@ func FitModel(tr *Trace, method string, co ClusterOptions) (*Model, error) {
 	return Fit(tr, FitOptions{Method: method, Cluster: co})
 }
 
+// FitStream estimates a traffic model from a streaming source in
+// bounded memory (two passes over the source, never materializing the
+// trace). The fitted model is byte-identical to Fit on the collected
+// trace, for any source kind and worker count.
+func FitStream(src EventSource, opt FitOptions) (*Model, error) {
+	method := opt.Method
+	if method == "" {
+		method = "ours"
+	}
+	copt, err := baseline.Options(method, opt.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	copt.Workers = opt.Workers
+	return core.FitStream(src, copt)
+}
+
 // LoadModel reads a model saved with (*Model).Save.
 func LoadModel(r io.Reader) (*Model, error) { return core.Load(r) }
 
@@ -154,6 +198,24 @@ type GenOptions = core.GenOptions
 // size by running one per-UE semi-Markov generator per UE (§7).
 func GenerateTraffic(ms *Model, opt GenOptions) (*Trace, error) {
 	return core.Generate(ms, opt)
+}
+
+// TrafficSource returns a generator-backed EventSource that produces
+// exactly GenerateTraffic's trace while holding only O(NumUEs) state —
+// populations whose traces would not fit in memory can be streamed to
+// disk or fitted directly.
+func TrafficSource(ms *Model, opt GenOptions) (EventSource, error) {
+	return core.NewSource(ms, opt)
+}
+
+// GenerateTo streams a synthetic trace into sink without materializing
+// it: registrations first, then events in canonical order.
+func GenerateTo(ms *Model, opt GenOptions, sink EventSink) error {
+	src, err := core.NewSource(ms, opt)
+	if err != nil {
+		return err
+	}
+	return trace.Copy(sink, src)
 }
 
 // 5G handover scaling factors (paper §6 and §8.2).

@@ -85,3 +85,71 @@ func TestFacadeRejectsUnknownMethod(t *testing.T) {
 		t.Fatal("unknown method accepted")
 	}
 }
+
+// TestFacadeStreamingEndToEnd is the streaming twin of the end-to-end
+// test: world source -> streamed fit -> generator source -> streamed
+// write, each stage checked against its materializing counterpart.
+func TestFacadeStreamingEndToEnd(t *testing.T) {
+	wopt := cptraffic.WorldOptions{NumUEs: 120, Duration: 3 * cptraffic.Hour, Seed: 4}
+	tr, err := cptraffic.SimulateWorld(wopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := cptraffic.WorldSource(wopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collected, err := cptraffic.CollectTrace(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if collected.Len() != tr.Len() {
+		t.Fatalf("world source produced %d events, batch %d", collected.Len(), tr.Len())
+	}
+
+	co := cptraffic.ClusterOptions{ThetaN: 25}
+	want, err := cptraffic.FitModel(tr, "ours", co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cptraffic.FitStream(src, cptraffic.FitOptions{Cluster: co})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantBuf, gotBuf bytes.Buffer
+	if err := want.Save(&wantBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Save(&gotBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+		t.Fatal("FitStream(WorldSource) differs from FitModel(SimulateWorld)")
+	}
+
+	gopt := cptraffic.GenOptions{NumUEs: 200, StartHour: 1, Duration: cptraffic.Hour, Seed: 5}
+	syn, err := cptraffic.GenerateTraffic(got, gopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsrc, err := cptraffic.TrafficSource(got, gopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := cptraffic.CollectTrace(gsrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Len() != syn.Len() || streamed.NumUEs() != syn.NumUEs() {
+		t.Fatalf("TrafficSource: %d events / %d UEs, batch %d / %d",
+			streamed.Len(), streamed.NumUEs(), syn.Len(), syn.NumUEs())
+	}
+
+	sink := cptraffic.NewTrace()
+	if err := cptraffic.GenerateTo(got, gopt, sink); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != syn.Len() {
+		t.Fatalf("GenerateTo wrote %d events, batch %d", sink.Len(), syn.Len())
+	}
+}
