@@ -1,14 +1,15 @@
 # Development targets. `make check` is the pre-commit gate: formatting,
-# vet, build, the full test suite, and the race detector over every
-# package that runs its own goroutine pools.
+# vet, build, the full test suite, the race detector over every package
+# that runs its own goroutine pools, and the steady-state allocation
+# regression gate.
 
 GO ?= go
 
 RACE_PKGS = ./internal/par/ ./internal/trace/ ./internal/core/ ./internal/world/ ./internal/eval/ ./internal/experiments/
 
-.PHONY: check fmt vet build test race bench experiments
+.PHONY: check fmt vet build test race allocs bench experiments
 
-check: fmt vet build test race
+check: fmt vet build test race allocs
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -28,8 +29,16 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# The compiled generator and the world simulator must stay
+# zero-allocation in their steady-state step (the race build disables
+# these gates itself, so they need a non-race run).
+allocs:
+	$(GO) test -run 'SteadyStateAllocs' ./internal/core/ ./internal/world/
+
+# Record the perf ledger: BENCH_<date>.txt + BENCH_<date>.json.
+# Compare two recordings with scripts/benchcmp.sh.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchmem .
+	scripts/bench.sh
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -180,6 +181,77 @@ func BenchmarkGeneratorPerUEHour(b *testing.B) {
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*100)/1e9, "s/UE-hour")
 		})
 	}
+}
+
+// mallocs reads the cumulative heap-allocation count, for allocs/event
+// metrics over a whole timed region (b.ReportAllocs reports per-op, but
+// the ledger wants per-event).
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// BenchmarkGenerateThroughput is the headline perf-ledger benchmark:
+// steady-state event throughput of the per-UE generator, compiled
+// engine vs. the interpreted reference on the same model, seeds, and
+// population. The two produce byte-identical traces
+// (TestCompiledMatchesInterpreted); only the speed differs.
+func BenchmarkGenerateThroughput(b *testing.B) {
+	l := lab(b)
+	models, err := l.Models()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms := models["ours"]
+	for _, eng := range []struct {
+		name      string
+		interpret bool
+	}{
+		{"compiled", false},
+		{"interpreted", true},
+	} {
+		b.Run(eng.name, func(b *testing.B) {
+			events := 0
+			b.ResetTimer()
+			m0 := mallocs()
+			for i := 0; i < b.N; i++ {
+				tr, err := core.Generate(ms, core.GenOptions{
+					NumUEs:    2000,
+					StartHour: 18,
+					Duration:  cp.Hour,
+					Seed:      uint64(i + 1),
+					Interpret: eng.interpret,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += tr.Len()
+			}
+			allocs := mallocs() - m0
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+			b.ReportMetric(float64(allocs)/float64(events), "allocs/event")
+		})
+	}
+}
+
+// BenchmarkWorldThroughput measures the ground-truth world simulator's
+// event throughput in the ledger's units (events/sec, allocs/event);
+// BenchmarkWorldSimulator keeps the historical per-op shape.
+func BenchmarkWorldThroughput(b *testing.B) {
+	events := 0
+	b.ResetTimer()
+	m0 := mallocs()
+	for i := 0; i < b.N; i++ {
+		tr, err := world.Generate(world.Options{NumUEs: 1000, Duration: cp.Hour * 6, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += tr.Len()
+	}
+	allocs := mallocs() - m0
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(allocs)/float64(events), "allocs/event")
 }
 
 // BenchmarkWorldSimulator measures the ground-truth simulator's event

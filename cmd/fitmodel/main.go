@@ -23,6 +23,7 @@ import (
 	"cptraffic/internal/baseline"
 	"cptraffic/internal/cluster"
 	"cptraffic/internal/core"
+	"cptraffic/internal/prof"
 	"cptraffic/internal/trace"
 )
 
@@ -37,8 +38,19 @@ func main() {
 		thetaF  = flag.Float64("thetaf", 5, "adaptive clustering θf (feature similarity)")
 		workers = flag.Int("workers", 0, "fitting worker count (0 = all CPUs); never changes the model")
 		stream  = flag.Bool("stream", false, "fit by scanning the trace file incrementally (bounded memory, identical model)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	co := cluster.Options{
 		ThetaF: cluster.Features{*thetaF, *thetaF, *thetaF, *thetaF},

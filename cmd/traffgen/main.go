@@ -23,6 +23,7 @@ import (
 	"cptraffic/internal/core"
 	"cptraffic/internal/cp"
 	"cptraffic/internal/fiveg"
+	"cptraffic/internal/prof"
 	"cptraffic/internal/trace"
 )
 
@@ -41,11 +42,22 @@ func main() {
 		out       = flag.String("o", "-", "output trace ('-' for stdout)")
 		binOut    = flag.Bool("binary", false, "write the compact binary trace format")
 		stream    = flag.Bool("stream", false, "generate and write incrementally (O(UEs) memory, identical output)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *modelPath == "" {
 		log.Fatal("-model is required")
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	f, err := os.Open(*modelPath)
 	if err != nil {

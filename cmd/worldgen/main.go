@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"cptraffic/internal/cp"
+	"cptraffic/internal/prof"
 	"cptraffic/internal/trace"
 	"cptraffic/internal/world"
 )
@@ -63,17 +64,28 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("worldgen: ")
 	var (
-		ues    = flag.Int("ues", 2000, "population size")
-		hours  = flag.Int("hours", 48, "trace duration in hours (epoch is midnight)")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		out    = flag.String("o", "-", "output file ('-' for stdout)")
-		binOut = flag.Bool("binary", false, "write the compact binary trace format")
-		stream = flag.Bool("stream", false, "simulate and write incrementally (O(UEs) memory, identical output)")
-		phones = flag.Float64("phones", -1, "phone share override (with -cars, -tablets)")
-		cars   = flag.Float64("cars", -1, "connected-car share override")
-		tabs   = flag.Float64("tablets", -1, "tablet share override")
+		ues     = flag.Int("ues", 2000, "population size")
+		hours   = flag.Int("hours", 48, "trace duration in hours (epoch is midnight)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("o", "-", "output file ('-' for stdout)")
+		binOut  = flag.Bool("binary", false, "write the compact binary trace format")
+		stream  = flag.Bool("stream", false, "simulate and write incrementally (O(UEs) memory, identical output)")
+		phones  = flag.Float64("phones", -1, "phone share override (with -cars, -tablets)")
+		cars    = flag.Float64("cars", -1, "connected-car share override")
+		tabs    = flag.Float64("tablets", -1, "tablet share override")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	opt := world.Options{
 		NumUEs:   *ues,

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"cptraffic/internal/cp"
+	"cptraffic/internal/sm"
+	"cptraffic/internal/stats"
+	"cptraffic/internal/trace"
+)
+
+func traceBytes(t *testing.T, tr *trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// streamBytes drives the source through the incremental text writer —
+// the CLI -stream path.
+func streamBytes(t *testing.T, src trace.EventSource) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw := trace.NewTextWriter(&buf)
+	if err := trace.Copy(tw, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCompiledMatchesInterpreted is the tentpole invariant: the compiled
+// engine produces byte-identical traces to the interpreted reference for
+// every seed, worker count, and source kind — on the full two-level
+// model and on a flat model whose free-running HO/TAU processes the
+// two-level model never exercises.
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	models := map[string]*ModelSet{
+		"ours": fitToy(t, 50, 3*cp.Hour, 42, FitOptions{}),
+	}
+	src := toyTrace(t, 60, 3*cp.Hour, 43)
+	base, err := Fit(src, FitOptions{
+		Machine:      sm.EMMECM(),
+		SojournKind:  SojournExp,
+		FreeEvents:   []cp.EventType{cp.Handover, cp.TrackingAreaUpdate},
+		NoClustering: true,
+		Method:       "base",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models["base"] = base
+
+	for name, ms := range models {
+		for _, seed := range []uint64{1, 7, 99} {
+			for _, workers := range []int{1, 8} {
+				opt := GenOptions{NumUEs: 80, StartHour: 22, Duration: 3 * cp.Hour, Seed: seed, Workers: workers}
+				iopt := opt
+				iopt.Interpret = true
+
+				want, err := Generate(ms, iopt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wb := traceBytes(t, want)
+				got, err := Generate(ms, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gb := traceBytes(t, got); !bytes.Equal(wb, gb) {
+					t.Fatalf("%s seed=%d workers=%d: compiled Generate differs from interpreted (%d vs %d bytes)",
+						name, seed, workers, len(gb), len(wb))
+				}
+
+				csrc, err := NewSource(ms, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sb := streamBytes(t, csrc); !bytes.Equal(wb, sb) {
+					t.Fatalf("%s seed=%d workers=%d: compiled stream differs from interpreted in-memory", name, seed, workers)
+				}
+				isrc, err := NewSource(ms, iopt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sb := streamBytes(t, isrc); !bytes.Equal(wb, sb) {
+					t.Fatalf("%s seed=%d workers=%d: interpreted stream differs from interpreted in-memory", name, seed, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestUEGenSteadyStateAllocs is the allocation regression gate: the
+// compiled generator's steady-state Next must not allocate at all, and
+// the interpreted reference must stay near zero (it reuses its queue
+// backing array; the historical g.queue = g.queue[1:] re-slice leaked
+// capacity and re-allocated on every flush). Skipped under the race
+// detector, which changes allocation behavior.
+func TestUEGenSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	ms := fitToy(t, 40, 3*cp.Hour, 44, FitOptions{})
+	machine, err := ms.Machine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := compile(ms, machine)
+	var dev cp.DeviceType = 255
+	for d := 0; d < cp.NumDeviceTypes; d++ {
+		if cm.devs[d] != nil {
+			dev = cp.DeviceType(d)
+			break
+		}
+	}
+	if dev == 255 {
+		t.Fatal("toy model has no device models")
+	}
+	const warmup, runs = 2000, 4000
+	end := 365 * cp.Day
+
+	measure := func(name string, it trace.EventIterator, limit float64) {
+		for i := 0; i < warmup; i++ {
+			if _, ok := it.Next(); !ok {
+				t.Fatalf("%s: generator exhausted after %d warm-up events", name, i)
+			}
+		}
+		alive := true
+		avg := testing.AllocsPerRun(runs, func() {
+			if _, ok := it.Next(); !ok {
+				alive = false
+			}
+		})
+		if !alive {
+			t.Fatalf("%s: generator exhausted during measurement", name)
+		}
+		if avg > limit {
+			t.Errorf("%s: steady-state Next allocates %.4f allocs/event, want <= %.4f", name, avg, limit)
+		}
+	}
+	measure("compiled", newUEGen(cm, cm.dev(dev), 1, stats.NewRNG(1), 0, end), 0)
+	measure("interpreted", newUEInterp(machine, ms.Device(dev), 1, stats.NewRNG(1), 0, end), 0.05)
+}

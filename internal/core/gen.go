@@ -30,6 +30,12 @@ type GenOptions struct {
 	// DeviceMix optionally overrides the device-type population shares;
 	// nil uses the training trace's shares.
 	DeviceMix []float64
+	// Interpret runs the uncompiled reference engine (interp.go) instead
+	// of the compiled one. The output is byte-identical either way
+	// (test-enforced); the compiled engine exists purely for speed, so
+	// this knob matters only to equivalence tests and the benchmark
+	// ledger.
+	Interpret bool
 }
 
 // maxEventsPerUE is a safety valve against pathological fitted models
@@ -46,30 +52,45 @@ const minSojournSec = 0.001
 // at hour opt.StartHour, by running one per-UE semi-Markov generator per
 // UE concurrently (§7). The result covers [StartHour*Hour,
 // StartHour*Hour+Duration) and is sorted.
+//
+// The model is first lowered into a compiled form (compile.go) so the
+// per-event work is pure array indexing; the interpreted reference
+// engine is available via opt.Interpret and produces identical bytes.
 func Generate(ms *ModelSet, opt GenOptions) (*trace.Trace, error) {
 	jobs, machine, t0, end, workers, err := planGeneration(ms, opt)
 	if err != nil {
 		return nil, err
 	}
+	var cm *compiledModel
+	if !opt.Interpret {
+		cm = ms.lower(machine)
+	}
+	mk := genFactory(ms, machine, cm, t0, end)
 	out := make([][]trace.Event, workers)
+	spans := make([][]trace.Event, len(jobs))
 	par.Do(workers, func(w int) {
+		type span struct{ job, lo, hi int }
 		var evs []trace.Event
+		var marks []span
 		for i := w; i < len(jobs); i += workers {
-			j := jobs[i]
-			dm := ms.Device(j.dev)
-			if dm == nil {
+			it := mk(jobs[i])
+			if it == nil {
 				continue
 			}
-			g := newUEGen(machine, dm, j.ue, j.rng, t0, end)
+			lo := len(evs)
 			for {
-				ev, ok := g.Next()
+				ev, ok := it.Next()
 				if !ok {
 					break
 				}
 				evs = append(evs, ev)
 			}
+			marks = append(marks, span{i, lo, len(evs)})
 		}
 		out[w] = evs
+		for _, m := range marks {
+			spans[m.job] = evs[m.lo:m.hi:m.hi]
+		}
 	})
 
 	tr := trace.New()
@@ -80,11 +101,23 @@ func Generate(ms *ModelSet, opt GenOptions) (*trace.Trace, error) {
 	for _, evs := range out {
 		n += len(evs)
 	}
+	// Each per-UE span is already in time order, so the canonical global
+	// order comes from the same k-way merge the streaming path uses — an
+	// O(n log k) interleave instead of a full O(n log n) sort, and
+	// byte-identical to Stream by construction.
 	tr.Events = make([]trace.Event, 0, n)
-	for _, evs := range out {
-		tr.Events = append(tr.Events, evs...)
+	iters := make([]trace.SliceIterator, len(jobs))
+	its := make([]trace.EventIterator, 0, len(jobs))
+	for i, sp := range spans {
+		if len(sp) > 0 {
+			iters[i].Events = sp
+			its = append(its, &iters[i])
+		}
 	}
-	tr.Sort()
+	_ = trace.MergeScan(func(ev trace.Event) error {
+		tr.Events = append(tr.Events, ev)
+		return nil
+	}, its)
 	return tr, nil
 }
 
@@ -110,34 +143,73 @@ func Stream(ms *ModelSet, opt GenOptions, reg func(cp.UEID, cp.DeviceType) error
 			}
 		}
 	}
+	var cm *compiledModel
+	if !opt.Interpret {
+		cm = ms.lower(machine)
+	}
+	return mergeJobs(ms, machine, cm, jobs, t0, end, fn)
+}
+
+// mergeJobs k-way merges the per-UE iterators of jobs into fn.
+func mergeJobs(ms *ModelSet, machine *sm.Machine, cm *compiledModel, jobs []genJob, t0, end cp.Millis, fn func(trace.Event) error) error {
+	mk := genFactory(ms, machine, cm, t0, end)
 	its := make([]trace.EventIterator, 0, len(jobs))
 	for _, j := range jobs {
-		dm := ms.Device(j.dev)
-		if dm == nil {
-			continue
+		if it := mk(j); it != nil {
+			its = append(its, it)
 		}
-		its = append(its, newUEGen(machine, dm, j.ue, j.rng, t0, end))
 	}
 	return trace.MergeScan(fn, its)
+}
+
+// genFactory returns the per-UE iterator builder for the selected
+// engine: compiled when cm is non-nil, the interpreted reference
+// otherwise. Both consume the job's RNG stream identically and produce
+// identical events (TestCompiledMatchesInterpreted). A nil return means
+// the model has no device model for the job's device type.
+func genFactory(ms *ModelSet, machine *sm.Machine, cm *compiledModel, t0, end cp.Millis) func(genJob) trace.EventIterator {
+	if cm == nil {
+		return func(j genJob) trace.EventIterator {
+			dm := ms.Device(j.dev)
+			if dm == nil {
+				return nil
+			}
+			return newUEInterp(machine, dm, j.ue, j.rng, t0, end)
+		}
+	}
+	return func(j genJob) trace.EventIterator {
+		cd := cm.dev(j.dev)
+		if cd == nil {
+			return nil
+		}
+		return newUEGen(cm, cd, j.ue, j.rng, t0, end)
+	}
 }
 
 // Source is a generator-backed trace.EventSource: scanning it draws the
 // synthetic population on the fly, so a trace of any size can be fitted,
 // evaluated, or written to disk without ever materializing it. Both
 // Devices and Scan re-derive the population plan from the seed, so the
-// source is re-iterable and successive passes agree.
+// source is re-iterable and successive passes agree. The compiled model
+// is built once in NewSource and shared by every Scan.
 type Source struct {
 	ms  *ModelSet
 	opt GenOptions
+	cm  *compiledModel // nil when opt.Interpret
 }
 
-// NewSource validates the generation options once and returns the lazy
-// source; no events are drawn until Scan.
+// NewSource validates the generation options once, compiles the model,
+// and returns the lazy source; no events are drawn until Scan.
 func NewSource(ms *ModelSet, opt GenOptions) (*Source, error) {
-	if _, _, _, _, _, err := planGeneration(ms, opt); err != nil {
+	_, machine, _, _, _, err := planGeneration(ms, opt)
+	if err != nil {
 		return nil, err
 	}
-	return &Source{ms: ms, opt: opt}, nil
+	s := &Source{ms: ms, opt: opt}
+	if !opt.Interpret {
+		s.cm = ms.lower(machine)
+	}
+	return s, nil
 }
 
 // Devices reports every planned UE's device type in ascending UE order.
@@ -156,7 +228,11 @@ func (s *Source) Devices(fn func(cp.UEID, cp.DeviceType) error) error {
 
 // Scan generates the population's events in canonical order.
 func (s *Source) Scan(fn func(trace.Event) error) error {
-	return Stream(s.ms, s.opt, nil, fn)
+	jobs, machine, t0, end, _, err := planGeneration(s.ms, s.opt)
+	if err != nil {
+		return err
+	}
+	return mergeJobs(s.ms, machine, s.cm, jobs, t0, end, fn)
 }
 
 // genJob is one UE's generation assignment.
@@ -257,16 +333,16 @@ type pending struct {
 	toBot sm.State
 }
 
-// ueGen is one per-UE traffic generator (§7), exposed as an incremental
-// iterator: Next returns the UE's events one at a time in time order.
-// It samples the first event from the first-event model, then drives the
-// two-level machine — both levels keep their own timers and race; a
-// top-level transition drops the bottom level's pending event and
-// re-enters the sub-machine of the new top state. Free-running processes
-// (Base/V1's HO and TAU) race alongside while the UE is registered.
+// ueGen is the compiled per-UE traffic generator (§7): the same
+// two-level semi-Markov race as the interpreted reference (interp.go),
+// but running on the dense compiledModel tables, so the steady-state
+// step performs no map lookups, no fallback-chain walks, no edge-list
+// scans, and no allocations (TestUEGenSteadyStateAllocs). Draw-for-draw
+// it consumes the RNG exactly like ueInterp, so the two produce
+// byte-identical traces.
 type ueGen struct {
-	m       *sm.Machine
-	dm      *DeviceModel
+	cm      *compiledModel
+	cd      *cDevice
 	ue      cp.UEID
 	rng     *stats.RNG
 	t0, end cp.Millis
@@ -280,29 +356,53 @@ type ueGen struct {
 	bottom sm.State
 	topP   pending
 	botP   pending
-	free   map[cp.EventType]cp.Millis
 
-	// queue holds events already decided but not yet delivered (the
-	// sub-machine flush before a blocked top-level event produces
-	// several at once).
+	// freeAt/freeOn replace the interpreter's map: the free-running
+	// processes' next firing time per event type, fixed-size so the
+	// race scan is a bounded loop over an array.
+	freeAt [cp.NumEventTypes]cp.Millis
+	freeOn [cp.NumEventTypes]bool
+
+	// queue holds events already decided but not yet delivered; qhead
+	// is the next to deliver, so the backing array is reused across
+	// flushes.
 	queue []trace.Event
+	qhead int
 }
 
-// newUEGen prepares the iterator; no work happens until the first Next.
-func newUEGen(m *sm.Machine, dm *DeviceModel, ue cp.UEID, rng *stats.RNG, t0, end cp.Millis) *ueGen {
-	return &ueGen{
-		m: m, dm: dm, ue: ue, rng: rng, t0: t0, end: end,
-		personaIdx: dm.pickPersona(rng),
-		free:       map[cp.EventType]cp.Millis{},
+// newUEGen prepares the compiled iterator; no work happens until the
+// first Next. The persona pick consumes the stream's next draw exactly
+// like DeviceModel.pickPersona.
+func newUEGen(cm *compiledModel, cd *cDevice, ue cp.UEID, rng *stats.RNG, t0, end cp.Millis) *ueGen {
+	g := &ueGen{cm: cm, cd: cd, ue: ue, rng: rng, t0: t0, end: end, personaIdx: -1}
+	if len(cd.personaCum) > 0 {
+		g.personaIdx = pickByCum(cd.personaCum, rng.Float64())
 	}
+	return g
+}
+
+// pickByCum returns the first index whose cumulative probability
+// exceeds u, defaulting to the last — the same comparisons the
+// interpreter's serial accumulation makes, on the precomputed partial
+// sums.
+func pickByCum(cum []float64, u float64) int {
+	for i, c := range cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(cum) - 1
 }
 
 // Next returns the UE's next event, or ok=false when the window is done.
 func (g *ueGen) Next() (trace.Event, bool) {
 	for {
-		if len(g.queue) > 0 {
-			ev := g.queue[0]
-			g.queue = g.queue[1:]
+		if g.qhead < len(g.queue) {
+			ev := g.queue[g.qhead]
+			g.qhead++
+			if g.qhead == len(g.queue) {
+				g.queue, g.qhead = g.queue[:0], 0
+			}
 			g.emitted++
 			return ev, true
 		}
@@ -317,16 +417,16 @@ func (g *ueGen) Next() (trace.Event, bool) {
 	}
 }
 
-func (g *ueGen) clusterAt(t cp.Millis) int {
-	if g.personaIdx < 0 {
-		return -1
-	}
+// cellAt resolves the compiled parameter cell for time t: the persona's
+// cluster for the hour, with -1 (the fallback cell) when the UE has no
+// persona.
+func (g *ueGen) cellAt(t cp.Millis) *cCell {
 	h := t.HourOfDay()
-	p := g.dm.Personas[g.personaIdx]
-	if h < len(p.Cluster) {
-		return p.Cluster[h]
+	cl := int16(-1)
+	if g.personaIdx >= 0 {
+		cl = g.cd.personaCl[g.personaIdx][h]
 	}
-	return -1
+	return &g.cd.cells[h][cl+1]
 }
 
 func (g *ueGen) push(t cp.Millis, e cp.EventType) {
@@ -334,32 +434,43 @@ func (g *ueGen) push(t cp.Millis, e cp.EventType) {
 }
 
 // startup finds the first event (§5.4): a UE silent in one hour re-rolls
-// the next hour's first-event model.
+// the next hour's first-event model. Draw order per hour matches
+// FirstEventModel.sample: the PNone draw, then (if active) the category
+// draw and the offset sample.
 func (g *ueGen) startup() {
 	g.started = true
 	for hourStart := g.t0; hourStart < g.end; hourStart += cp.Hour {
-		fe, ok := g.dm.firstEvent(hourStart.HourOfDay(), g.clusterAt(hourStart))
-		if !ok {
+		cf := &g.cellAt(hourStart).first
+		if !cf.ok {
 			continue
 		}
-		silent, cat, off := fe.sample(g.rng)
-		if silent {
+		if g.rng.Float64() < cf.pnone {
 			continue
+		}
+		u := g.rng.Float64()
+		cat := &cf.cats[len(cf.cats)-1]
+		for i := range cf.cats {
+			if u < cf.cats[i].cum {
+				cat = &cf.cats[i]
+				break
+			}
+		}
+		off := cf.offset.sample(g.rng)
+		if off < 0 {
+			off = 0
+		}
+		if off >= 3600 {
+			off = 3599.999
 		}
 		t := hourStart + cp.MillisFromSeconds(off)
 		if t >= g.end {
 			break
 		}
-		g.push(t, cat.Event)
-		// The fitted category carries the post-event machine state, so
-		// e.g. a first TAU lands in TAU_S_IDLE when the training UEs
-		// were idle, not blindly in TAU_S_CONN.
-		fine := cat.State
-		if int(fine) >= g.m.NumStates() {
-			fine = g.m.Forced(cat.Event)
-		}
-		g.top = g.m.Top(fine)
-		g.bottom = fine
+		g.push(t, cat.ev)
+		// The fitted category carries the post-event machine state
+		// (compile resolved the out-of-range → Forced fallback).
+		g.top = cat.top
+		g.bottom = cat.fine
 		g.drawTop(t)
 		g.drawBot(t)
 		g.drawFree(t)
@@ -380,9 +491,11 @@ func (g *ueGen) step() {
 	if g.botP.valid && g.botP.at < next {
 		next, kind = g.botP.at, 2
 	}
-	for e, at := range g.free {
-		if at < next {
-			next, kind, freeEv = at, 3, e
+	// Fixed ascending event-type order, same tie-break as the
+	// interpreter's scan over cp.EventTypes.
+	for e := range g.freeAt {
+		if g.freeOn[e] && g.freeAt[e] < next {
+			next, kind, freeEv = g.freeAt[e], 3, cp.EventType(e)
 		}
 	}
 	if kind == 0 || next >= g.end {
@@ -398,11 +511,16 @@ func (g *ueGen) step() {
 		// can be re-established.
 		at := next
 		for guard := 0; guard < 8; guard++ {
-			if _, ok := g.m.Next(g.bottom, g.topP.ev); ok {
+			if g.cm.next[g.bottom][g.topP.ev] >= 0 {
 				break
 			}
-			ev, to, found := bridgeEdge(g.m, g.bottom, g.botP)
-			if !found {
+			var ev cp.EventType
+			var to sm.State
+			if g.botP.valid {
+				ev, to = g.botP.ev, g.botP.toBot
+			} else if g.cm.bridgeOK[g.bottom] {
+				ev, to = g.cm.bridgeEv[g.bottom], g.cm.bridgeTo[g.bottom]
+			} else {
 				break
 			}
 			g.push(at, ev)
@@ -411,7 +529,7 @@ func (g *ueGen) step() {
 		}
 		g.push(at, g.topP.ev)
 		g.top = g.topP.toTop
-		g.bottom = g.m.SubEntry(g.top)
+		g.bottom = g.cm.subEntry[g.top]
 		g.drawTop(at)
 		g.drawBot(at)
 		g.drawFree(at)
@@ -427,104 +545,89 @@ func (g *ueGen) step() {
 
 func (g *ueGen) drawTop(now cp.Millis) {
 	g.topP = pending{}
-	params := g.dm.topParams(now.HourOfDay(), g.clusterAt(now), g.top)
-	tp, ok := pickFrom(params, g.rng)
-	if !ok {
+	trans := g.cellAt(now).top[g.top]
+	if len(trans) == 0 {
 		return
 	}
-	to, ok := topNext(g.top, tp.Event)
-	if !ok {
+	u := g.rng.Float64()
+	tp := &trans[pickByCum2(trans, u)]
+	if !tp.ok {
 		return
 	}
-	d := math.Max(tp.Sojourn.Sample(g.rng), minSojournSec)
-	g.topP = pending{at: now + cp.MillisFromSeconds(d), ev: tp.Event, valid: true, toTop: to}
+	d := math.Max(tp.soj.sample(g.rng), minSojournSec)
+	g.topP = pending{at: now + cp.MillisFromSeconds(d), ev: tp.ev, valid: true, toTop: tp.to}
+}
+
+// pickByCum2 is pickByCum over cTopTrans (kept separate so the hot loop
+// indexes the cum field without building a float slice).
+func pickByCum2(trans []cTopTrans, u float64) int {
+	for i := range trans {
+		if u < trans[i].cum {
+			return i
+		}
+	}
+	return len(trans) - 1
 }
 
 func (g *ueGen) drawBot(now cp.Millis) {
 	g.botP = pending{}
-	sp := g.dm.bottomParams(now.HourOfDay(), g.clusterAt(now), g.bottom)
-	if sp == nil {
+	bs := &g.cellAt(now).bottom[g.bottom]
+	if !bs.present {
 		return
 	}
 	// KM tail mass: the probability the sub-machine never fires within
 	// observable horizons; the bottom stays silent until the next
 	// top-level transition re-enters it.
-	if sp.PExit > 0 && g.rng.Float64() < sp.PExit {
+	if bs.pexit > 0 && g.rng.Float64() < bs.pexit {
 		return
 	}
-	tp, ok := pickFrom(sp.Out, g.rng)
-	if !ok {
+	if len(bs.trans) == 0 {
 		return
 	}
-	to, ok := g.m.Next(g.bottom, tp.Event)
-	if !ok || g.m.Top(to) != g.top {
+	u := g.rng.Float64()
+	idx := len(bs.trans) - 1
+	for i := range bs.trans {
+		if u < bs.trans[i].cum {
+			idx = i
+			break
+		}
+	}
+	tp := &bs.trans[idx]
+	if !tp.ok {
 		return
 	}
-	// Prefer the Kaplan-Meier state-level delay marginal: it is the
-	// unbiased estimate under the top-level race (per-transition
-	// sojourns are fitted on uncensored observations only).
-	soj := tp.Sojourn
-	if sp.Sojourn != nil {
-		soj = *sp.Sojourn
-	}
-	d := math.Max(soj.Sample(g.rng), minSojournSec)
-	g.botP = pending{at: now + cp.MillisFromSeconds(d), ev: tp.Event, valid: true, toBot: to}
+	d := math.Max(tp.soj.sample(g.rng), minSojournSec)
+	g.botP = pending{at: now + cp.MillisFromSeconds(d), ev: tp.ev, valid: true, toBot: tp.to}
 }
 
 func (g *ueGen) drawFree(now cp.Millis) {
-	for k := range g.free {
-		delete(g.free, k)
+	for i := range g.freeOn {
+		g.freeOn[i] = false
 	}
 	if g.top == cp.StateDeregistered {
 		return
 	}
-	for _, fp := range g.dm.freeParams(now.HourOfDay(), g.clusterAt(now)) {
-		d := math.Max(fp.Inter.Sample(g.rng), minSojournSec)
-		g.free[fp.Event] = now + cp.MillisFromSeconds(d)
+	free := g.cellAt(now).free
+	for i := range free {
+		fp := &free[i]
+		d := math.Max(fp.inter.sample(g.rng), minSojournSec)
+		g.freeAt[fp.ev] = now + cp.MillisFromSeconds(d)
+		g.freeOn[fp.ev] = true
 	}
 }
 
 func (g *ueGen) redrawOneFree(e cp.EventType, now cp.Millis) {
-	for _, fp := range g.dm.freeParams(now.HourOfDay(), g.clusterAt(now)) {
-		if fp.Event == e {
-			d := math.Max(fp.Inter.Sample(g.rng), minSojournSec)
-			g.free[e] = now + cp.MillisFromSeconds(d)
+	free := g.cellAt(now).free
+	for i := range free {
+		fp := &free[i]
+		if fp.ev == e {
+			d := math.Max(fp.inter.sample(g.rng), minSojournSec)
+			g.freeAt[e] = now + cp.MillisFromSeconds(d)
+			g.freeOn[e] = true
 			return
 		}
 	}
-	delete(g.free, e)
-}
-
-// bridgeEdge chooses the sub-machine event that moves the bottom level
-// toward a state from which a blocked top-level event becomes legal:
-// preferably the already-pending bottom event, otherwise the first
-// within-macro machine edge.
-func bridgeEdge(m *sm.Machine, bottom sm.State, botP pending) (cp.EventType, sm.State, bool) {
-	if botP.valid {
-		return botP.ev, botP.toBot, true
-	}
-	for _, e := range m.Edges[bottom] {
-		if m.Top(e.To) == m.Top(bottom) {
-			return e.Event, e.To, true
-		}
-	}
-	return 0, bottom, false
-}
-
-// pickFrom samples a transition from params by probability.
-func pickFrom(params []TransitionParam, r *stats.RNG) (TransitionParam, bool) {
-	if len(params) == 0 {
-		return TransitionParam{}, false
-	}
-	u := r.Float64()
-	var acc float64
-	for _, tp := range params {
-		acc += tp.P
-		if u < acc {
-			return tp, true
-		}
-	}
-	return params[len(params)-1], true
+	g.freeOn[e] = false
 }
 
 // topNext gives the macro-level successor for a Category-1 event leaving

@@ -12,7 +12,7 @@ import (
 )
 
 // fitToy fits a model on a toy world trace.
-func fitToy(t *testing.T, nUEs int, dur cp.Millis, seed uint64, opt FitOptions) *ModelSet {
+func fitToy(t testing.TB, nUEs int, dur cp.Millis, seed uint64, opt FitOptions) *ModelSet {
 	t.Helper()
 	if opt.Cluster.ThetaN == 0 {
 		opt.Cluster = clusterOptSmall()

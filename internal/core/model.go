@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"cptraffic/internal/cp"
 	"cptraffic/internal/sm"
@@ -161,6 +162,21 @@ type ModelSet struct {
 	// Devices is indexed by cp.DeviceType; entries may be nil when the
 	// training trace had no UEs of that type.
 	Devices []*DeviceModel `json:"devices"`
+
+	// compileOnce guards compiled, the lowered form built lazily on the
+	// first Generate/Stream/NewSource call and reused afterwards. A
+	// ModelSet is treated as immutable once generation has started —
+	// in-repo callers already honor this (the 5G adapters clone before
+	// mutating) — so the cache never goes stale.
+	compileOnce sync.Once
+	compiled    *compiledModel
+}
+
+// lower returns the model compiled for machine, building it on first
+// use. Concurrent callers share one build.
+func (ms *ModelSet) lower(machine *sm.Machine) *compiledModel {
+	ms.compileOnce.Do(func() { ms.compiled = compile(ms, machine) })
+	return ms.compiled
 }
 
 // Machine resolves the model's state machine.

@@ -48,7 +48,7 @@ type SojournModel struct {
 func (s SojournModel) Sample(r *stats.RNG) float64 {
 	switch s.Kind {
 	case SojournTable:
-		return (&stats.QuantileTable{Q: s.Q}).Quantile(r.OpenFloat64())
+		return stats.QuantileAt(s.Q, r.OpenFloat64())
 	case SojournExp:
 		return r.Exp(s.Lambda)
 	case SojournConst:

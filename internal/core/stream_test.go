@@ -155,7 +155,8 @@ func bytesEqualModels(t *testing.T, a, b *ModelSet) bool {
 }
 
 func TestUEGenIteratorResumable(t *testing.T) {
-	// Next can be called after exhaustion without panicking.
+	// Next can be called after exhaustion without panicking, on both
+	// engines.
 	ms := fitToy(t, 10, cp.Hour, 94, FitOptions{})
 	dm := ms.Device(cp.Phone)
 	if dm == nil {
@@ -165,18 +166,28 @@ func TestUEGenIteratorResumable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := newUEGen(m, dm, 1, stats.NewRNG(1), 0, cp.Hour)
-	n := 0
-	for {
-		_, ok := g.Next()
-		if !ok {
-			break
-		}
-		n++
+	cm := compile(ms, m)
+	cd := cm.dev(cp.Phone)
+	if cd == nil {
+		t.Fatal("compiled model lost the phone device")
 	}
-	for i := 0; i < 3; i++ {
-		if _, ok := g.Next(); ok {
-			t.Fatal("exhausted iterator produced an event")
+	its := map[string]trace.EventIterator{
+		"compiled":    newUEGen(cm, cd, 1, stats.NewRNG(1), 0, cp.Hour),
+		"interpreted": newUEInterp(m, dm, 1, stats.NewRNG(1), 0, cp.Hour),
+	}
+	for name, g := range its {
+		n := 0
+		for {
+			_, ok := g.Next()
+			if !ok {
+				break
+			}
+			n++
+		}
+		for i := 0; i < 3; i++ {
+			if _, ok := g.Next(); ok {
+				t.Fatalf("%s: exhausted iterator produced an event", name)
+			}
 		}
 	}
 }

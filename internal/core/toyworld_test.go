@@ -14,7 +14,7 @@ import (
 // is correct by construction (only machine edges are taken), which makes
 // it a clean fitting target for tests: any violation in a model-generated
 // trace is then the model's fault.
-func toyTrace(t *testing.T, nUEs int, dur cp.Millis, seed uint64) *trace.Trace {
+func toyTrace(t testing.TB, nUEs int, dur cp.Millis, seed uint64) *trace.Trace {
 	t.Helper()
 	m := sm.LTE2Level()
 	root := stats.NewRNG(seed)

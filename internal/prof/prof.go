@@ -1,0 +1,66 @@
+// Package prof wires the runtime's CPU and heap profilers into the
+// CLIs: every trace-touching command exposes -cpuprofile/-memprofile so
+// perf work measures hot paths with pprof instead of guessing from wall
+// clock (which the 1-CPU build container makes a weak signal anyway).
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (when non-empty) and returns
+// a stop function that ends the CPU profile and writes a heap profile
+// to memPath (when non-empty). Both paths empty makes Start and stop
+// no-ops, so callers can wire the flags unconditionally:
+//
+//	stop, err := prof.Start(*cpuprofile, *memprofile)
+//	if err != nil { log.Fatal(err) }
+//	defer stop()
+//
+// stop is idempotent and returns the first error it hits.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: starting CPU profile: %w", err)
+		}
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			// Materialize the final live set so the heap profile shows
+			// retained memory, not allocation noise.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("prof: writing heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

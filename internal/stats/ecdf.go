@@ -65,21 +65,27 @@ func (t *QuantileTable) Valid() bool {
 }
 
 // Quantile interpolates the tabulated quantile function at p.
-func (t *QuantileTable) Quantile(p float64) float64 {
-	n := len(t.Q)
+func (t *QuantileTable) Quantile(p float64) float64 { return QuantileAt(t.Q, p) }
+
+// QuantileAt interpolates a tabulated quantile function (the Q grid of a
+// QuantileTable) at p. It is the allocation-free core of Quantile, split
+// out so sampling hot loops can draw from a bare grid without
+// constructing a table value; the arithmetic is bit-identical.
+func QuantileAt(q []float64, p float64) float64 {
+	n := len(q)
 	switch {
 	case p <= 0:
-		return t.Q[0]
+		return q[0]
 	case p >= 1:
-		return t.Q[n-1]
+		return q[n-1]
 	}
 	h := p * float64(n-1)
 	i := int(h)
 	frac := h - float64(i)
 	if i+1 >= n {
-		return t.Q[n-1]
+		return q[n-1]
 	}
-	return t.Q[i] + frac*(t.Q[i+1]-t.Q[i])
+	return q[i] + frac*(q[i+1]-q[i])
 }
 
 // CDF inverts the tabulated quantile function by binary search with linear

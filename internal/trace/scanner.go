@@ -574,6 +574,12 @@ type TextWriter struct {
 	closed      bool
 	last        Event
 	hasLast     bool
+
+	// line is the reused record-formatting buffer: per-event fmt verbs
+	// would box every integer argument, so the writer appends with
+	// strconv instead (byte-identical output, zero steady-state
+	// allocations).
+	line []byte
 }
 
 // NewTextWriter prepares an incremental text trace writer on w.
@@ -608,7 +614,13 @@ func (tw *TextWriter) SetDevice(ue cp.UEID, d cp.DeviceType) error {
 		return err
 	}
 	tw.devSet[ue] = d
-	_, err := fmt.Fprintf(tw.bw, "U %d %s\n", ue, d)
+	b := append(tw.line[:0], 'U', ' ')
+	b = strconv.AppendUint(b, uint64(ue), 10)
+	b = append(b, ' ')
+	b = append(b, d.String()...)
+	b = append(b, '\n')
+	tw.line = b
+	_, err := tw.bw.Write(b)
 	return err
 }
 
@@ -628,7 +640,15 @@ func (tw *TextWriter) Write(e Event) error {
 	}
 	tw.seenEvent = true
 	tw.last, tw.hasLast = e, true
-	_, err := fmt.Fprintf(tw.bw, "E %d %d %s\n", e.T, e.UE, e.Type)
+	b := append(tw.line[:0], 'E', ' ')
+	b = strconv.AppendInt(b, int64(e.T), 10)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, uint64(e.UE), 10)
+	b = append(b, ' ')
+	b = append(b, e.Type.String()...)
+	b = append(b, '\n')
+	tw.line = b
+	_, err := tw.bw.Write(b)
 	return err
 }
 

@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"container/heap"
 	"fmt"
 
 	"cptraffic/internal/cp"
@@ -121,50 +120,102 @@ type EventIterator interface {
 	Next() (Event, bool)
 }
 
+// SliceIterator replays an already-materialized, already-ordered event
+// slice pull-style — the bridge that lets batch generators feed their
+// per-UE buffers into the same MergeScan as the streaming paths. The
+// zero value is an empty stream; callers bulk-allocate []SliceIterator
+// and pass pointers.
+type SliceIterator struct{ Events []Event }
+
+// Next pops the next event, reporting false when the slice is drained.
+func (s *SliceIterator) Next() (Event, bool) {
+	if len(s.Events) == 0 {
+		return Event{}, false
+	}
+	ev := s.Events[0]
+	s.Events = s.Events[1:]
+	return ev, true
+}
+
 // MergeScan k-way merges the iterators — each individually ordered under
 // Event.Before — into one canonically ordered stream delivered to fn,
 // holding only one pending event per iterator (O(k) memory). fn's first
 // error aborts the merge and is returned.
+//
+// The merge is a loser tree rather than container/heap: advancing the
+// winner costs exactly ⌈log₂ k⌉ comparisons and only index writes (a
+// binary heap pays ~2 comparisons per level and swaps whole items), and
+// nothing goes through an interface per sift step. Before is a total
+// order on distinct events (time, UE, type), so the output sequence is
+// uniquely determined by the comparator and any correct merge yields
+// identical bytes; should two iterators ever carry the very same event,
+// the lower iterator index wins, deterministically.
 func MergeScan(fn func(Event) error, its []EventIterator) error {
-	h := &mergeHeap{}
+	evs := make([]Event, 0, len(its))
+	act := make([]EventIterator, 0, len(its))
 	for _, it := range its {
 		if ev, ok := it.Next(); ok {
-			h.items = append(h.items, mergeItem{ev: ev, it: it})
+			evs = append(evs, ev)
+			act = append(act, it)
 		}
 	}
-	heap.Init(h)
-	for h.Len() > 0 {
-		item := h.items[0]
-		if err := fn(item.ev); err != nil {
+	k := len(act)
+	if k == 0 {
+		return nil
+	}
+	dead := make([]bool, k)
+	// wins beats a when leaf b's pending event orders before leaf a's;
+	// exhausted leaves always lose so the tree drains without shrinking.
+	wins := func(a, b int32) bool {
+		if dead[a] || dead[b] {
+			return !dead[a] && dead[b]
+		}
+		if evs[a].Before(evs[b]) {
+			return true
+		}
+		if evs[b].Before(evs[a]) {
+			return false
+		}
+		return a < b
+	}
+	// Complete-tree embedding: internal nodes 1..k-1, leaf i at node k+i;
+	// tree[n] is the loser at node n and tree[0] the overall winner.
+	tree := make([]int32, k)
+	win := make([]int32, 2*k)
+	for i := 0; i < k; i++ {
+		win[k+i] = int32(i)
+	}
+	for n := k - 1; n >= 1; n-- {
+		a, b := win[2*n], win[2*n+1]
+		if wins(a, b) {
+			win[n], tree[n] = a, b
+		} else {
+			win[n], tree[n] = b, a
+		}
+	}
+	tree[0] = win[1]
+	for alive := k; alive > 0; {
+		w := tree[0]
+		if err := fn(evs[w]); err != nil {
 			return err
 		}
-		if ev, ok := item.it.Next(); ok {
-			h.items[0] = mergeItem{ev: ev, it: item.it}
-			heap.Fix(h, 0)
+		if ev, ok := act[w].Next(); ok {
+			evs[w] = ev
 		} else {
-			heap.Pop(h)
+			dead[w] = true
+			alive--
+			if alive == 0 {
+				break
+			}
 		}
+		// Replay the path from leaf w to the root: whoever loses parks at
+		// the node, the winner plays on.
+		for n := (int(w) + k) / 2; n > 0; n /= 2 {
+			if wins(tree[n], w) {
+				w, tree[n] = tree[n], w
+			}
+		}
+		tree[0] = w
 	}
 	return nil
-}
-
-type mergeItem struct {
-	ev Event
-	it EventIterator
-}
-
-type mergeHeap struct {
-	items []mergeItem
-}
-
-func (h *mergeHeap) Len() int           { return len(h.items) }
-func (h *mergeHeap) Less(i, j int) bool { return h.items[i].ev.Before(h.items[j].ev) }
-func (h *mergeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *mergeHeap) Push(x interface{}) { h.items = append(h.items, x.(mergeItem)) }
-func (h *mergeHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	item := old[n-1]
-	h.items = old[:n-1]
-	return item
 }

@@ -105,12 +105,30 @@ func Generate(opt Options) (*trace.Trace, error) {
 	}
 
 	out := make([][]trace.Event, workers)
+	spans := make([][]trace.Event, opt.NumUEs)
 	par.Do(workers, func(w int) {
+		// Drain each iterator straight into the worker's buffer,
+		// remembering each UE's span: a per-UE intermediate slice would
+		// allocate (and copy) once per UE for no benefit.
+		type span struct{ ue, lo, hi int }
 		var evs []trace.Event
+		var marks []span
 		for i := w; i < opt.NumUEs; i += workers {
-			evs = append(evs, sims[i].run()...)
+			u := sims[i]
+			lo := len(evs)
+			for {
+				ev, ok := u.Next()
+				if !ok {
+					break
+				}
+				evs = append(evs, ev)
+			}
+			marks = append(marks, span{i, lo, len(evs)})
 		}
 		out[w] = evs
+		for _, m := range marks {
+			spans[m.ue] = evs[m.lo:m.hi:m.hi]
+		}
 	})
 
 	tr := trace.New()
@@ -121,11 +139,23 @@ func Generate(opt Options) (*trace.Trace, error) {
 	for _, evs := range out {
 		n += len(evs)
 	}
+	// Each per-UE span is already in time order, so the canonical global
+	// order comes from the same k-way merge the streaming Source uses —
+	// an O(n log k) interleave instead of a full O(n log n) sort, and
+	// byte-identical to it by construction.
 	tr.Events = make([]trace.Event, 0, n)
-	for _, evs := range out {
-		tr.Events = append(tr.Events, evs...)
+	iters := make([]trace.SliceIterator, opt.NumUEs)
+	its := make([]trace.EventIterator, 0, opt.NumUEs)
+	for i, sp := range spans {
+		if len(sp) > 0 {
+			iters[i].Events = sp
+			its = append(its, &iters[i])
+		}
 	}
-	tr.Sort()
+	_ = trace.MergeScan(func(ev trace.Event) error {
+		tr.Events = append(tr.Events, ev)
+		return nil
+	}, its)
 	return tr, nil
 }
 
@@ -323,18 +353,6 @@ func (u *ueSim) step() {
 		}
 		u.emit(tSess, cp.ServiceRequest)
 		u.t = u.connectedPhase(tSess)
-	}
-}
-
-// run drains the iterator, returning the UE's full event list.
-func (u *ueSim) run() []trace.Event {
-	var evs []trace.Event
-	for {
-		ev, ok := u.Next()
-		if !ok {
-			return evs
-		}
-		evs = append(evs, ev)
 	}
 }
 

@@ -1,0 +1,62 @@
+#!/bin/sh
+# bench.sh — run the perf-ledger benchmarks and record the results as
+# BENCH_<date>.txt (raw `go test -bench` output, benchstat-compatible)
+# plus BENCH_<date>.json (parsed, for dashboards and benchcmp.sh).
+#
+# Usage:
+#   scripts/bench.sh                # ledger benchmarks, default count
+#   BENCHTIME=20x scripts/bench.sh  # longer runs for stabler numbers
+#   PATTERN='Scanner' scripts/bench.sh
+#
+# The ledger set is the throughput benchmarks plus the historical
+# per-UE-hour and scanner benches, so successive BENCH_* files track the
+# same quantities across PRs. Compare two ledgers with
+# scripts/benchcmp.sh.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PATTERN="${PATTERN:-GenerateThroughput|WorldThroughput|GeneratorPerUEHour|Scanner}"
+BENCHTIME="${BENCHTIME:-10x}"
+DATE="$(date +%Y-%m-%d)"
+TXT="BENCH_${DATE}.txt"
+JSON="BENCH_${DATE}.json"
+
+# Whole-pipeline benchmarks: one op is a full Generate, so a fixed
+# iteration count keeps run time bounded. The per-step microbenchmark
+# needs millions of iterations to mean anything, so it gets a
+# time-based budget instead.
+go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem . | tee "$TXT"
+go test -run '^$' -bench 'EngineStep' -benchtime "${STEPTIME:-2s}" -benchmem \
+	./internal/core/ | tee -a "$TXT"
+
+# Parse the standard benchmark lines into JSON. Metric pairs start at
+# field 4 (field 1 name, 2 iterations, 3/4 first value/unit).
+awk -v date="$DATE" -v benchtime="$BENCHTIME" '
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	iters = $2
+	m = ""
+	for (i = 3; i + 1 <= NF; i += 2) {
+		if (m != "") m = m ", "
+		m = m "\"" $(i+1) "\": " $i
+	}
+	if (out != "") out = out ",\n"
+	out = out "    {\"name\": \"" name "\", \"iters\": " iters ", \"metrics\": {" m "}}"
+}
+END {
+	printf "{\n"
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"goos\": \"%s\",\n", goos
+	printf "  \"goarch\": \"%s\",\n", goarch
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"cpus\": %d,\n", cpus
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"caveat\": \"measured on a shared %d-CPU container; absolute numbers are noisy (±20%% across runs observed), compare only medians of repeated runs on the same host\",\n", cpus
+	printf "  \"benchmarks\": [\n%s\n  ]\n}\n", out
+}' cpus="$(nproc)" "$TXT" > "$JSON"
+
+echo "wrote $TXT and $JSON" >&2

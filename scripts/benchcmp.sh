@@ -1,0 +1,76 @@
+#!/bin/sh
+# benchcmp.sh — compare two perf-ledger recordings made by bench.sh.
+#
+# Usage:
+#   scripts/benchcmp.sh BENCH_2026-08-06 BENCH_2026-09-01
+#   scripts/benchcmp.sh old.txt new.txt
+#
+# Accepts either the ledger basename (resolves .txt/.json itself) or
+# explicit files. Uses benchstat on the .txt recordings when it is
+# installed (it adds significance testing); otherwise falls back to a
+# plain old/new/delta table parsed from the .json ledgers.
+set -eu
+
+if [ $# -ne 2 ]; then
+	echo "usage: $0 <old> <new>  (BENCH_* basename, .txt, or .json)" >&2
+	exit 2
+fi
+
+resolve() {
+	for cand in "$1" "$1.txt" "$1.json"; do
+		if [ -f "$cand" ]; then
+			echo "$cand"
+			return
+		fi
+	done
+	echo "$0: cannot find $1" >&2
+	exit 1
+}
+
+OLD="$(resolve "$1")"
+NEW="$(resolve "$2")"
+
+txt() { echo "${1%.txt}" | sed 's/\.json$//' | sed 's/$/.txt/'; }
+json() { echo "${1%.json}" | sed 's/\.txt$//' | sed 's/$/.json/'; }
+
+if command -v benchstat >/dev/null 2>&1 && [ -f "$(txt "$OLD")" ] && [ -f "$(txt "$NEW")" ]; then
+	exec benchstat "$(txt "$OLD")" "$(txt "$NEW")"
+fi
+
+OLD="$(json "$OLD")"
+NEW="$(json "$NEW")"
+
+# Fallback: join the two JSON ledgers on the composite key
+# "benchmark|metric" (field 1; the metric value is field 2). Relies on
+# the line-per-benchmark layout bench.sh emits.
+parse() {
+	awk '
+	/"name":/ {
+		line = $0
+		sub(/.*"name": "/, "", line)
+		name = line
+		sub(/".*/, "", name)
+		line = $0
+		sub(/.*"metrics": \{/, "", line)
+		sub(/\}\}.*/, "", line)
+		n = split(line, parts, /, /)
+		for (i = 1; i <= n; i++) {
+			split(parts[i], kv, /": /)
+			unit = kv[1]
+			sub(/^"/, "", unit)
+			print name "|" unit " " kv[2]
+		}
+	}' "$1"
+}
+
+parse "$OLD" | sort > /tmp/benchcmp_old.$$
+parse "$NEW" | sort > /tmp/benchcmp_new.$$
+trap 'rm -f /tmp/benchcmp_old.$$ /tmp/benchcmp_new.$$' EXIT
+
+join /tmp/benchcmp_old.$$ /tmp/benchcmp_new.$$ | awk '
+BEGIN { printf "%-45s %-14s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta" }
+{
+	split($1, key, /\|/)
+	delta = ($2 == 0) ? "n/a" : sprintf("%+.1f%%", ($3 - $2) / $2 * 100)
+	printf "%-45s %-14s %14g %14g %9s\n", key[1], key[2], $2, $3, delta
+}'
