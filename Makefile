@@ -1,15 +1,16 @@
 # Development targets. `make check` is the pre-commit gate: formatting,
-# vet, build, the full test suite, the race detector over every package
-# that runs its own goroutine pools, and the steady-state allocation
-# regression gate.
+# vet, build, the cplint static-analysis suite, the full test suite, the
+# race detector over every package that runs its own goroutine pools,
+# and the steady-state allocation regression gate. cplint runs before
+# the slow race/alloc stages so invariant violations fail fast.
 
 GO ?= go
 
 RACE_PKGS = ./internal/par/ ./internal/trace/ ./internal/core/ ./internal/world/ ./internal/eval/ ./internal/experiments/
 
-.PHONY: check fmt vet build test race allocs bench experiments
+.PHONY: check fmt vet build lint test race allocs audit bench experiments
 
-check: fmt vet build test race allocs
+check: fmt vet build lint test race allocs
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -20,6 +21,11 @@ vet:
 
 build:
 	$(GO) build ./...
+
+# The repo's own analyzers: determinism (detmap, detsource), hot-path
+# allocation (hotalloc), and par-pool write disjointness (parshare).
+lint:
+	$(GO) run ./cmd/cplint ./...
 
 test:
 	$(GO) test ./...
@@ -34,6 +40,12 @@ race:
 # these gates itself, so they need a non-race run).
 allocs:
 	$(GO) test -run 'SteadyStateAllocs' ./internal/core/ ./internal/world/
+
+# Third-party audits (staticcheck + govulncheck) at pinned versions;
+# skipped with a warning when the tools are absent and cannot be
+# installed (offline builds).
+audit:
+	scripts/audit.sh
 
 # Record the perf ledger: BENCH_<date>.txt + BENCH_<date>.json.
 # Compare two recordings with scripts/benchcmp.sh.

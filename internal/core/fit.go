@@ -495,13 +495,24 @@ func (a *acc) build(m *sm.Machine, opt FitOptions) ClusterModel {
 	for k, c := range a.TopCount {
 		topTotal[k.S] += c
 	}
-	for k, c := range a.TopCount {
-		p := float64(c) / float64(topTotal[k.S])
-		cm.Top[k.S].Out = append(cm.Top[k.S].Out, TransitionParam{
-			Event:   k.E,
-			P:       p,
-			Sojourn: FitSojourn(a.TopSoj[k], opt.SojournKind),
-		})
+	// Emit transitions in fixed (state, event) order, not map order:
+	// FitSojourn's float folds must see each sample list at a
+	// reproducible point in the build, and the output is then sorted by
+	// construction rather than by the sortTransitions pass below.
+	for s := 0; s < cp.NumUEStates; s++ {
+		for _, e := range cp.EventTypes {
+			k := topKey{S: cp.UEState(s), E: e}
+			c, ok := a.TopCount[k]
+			if !ok {
+				continue
+			}
+			p := float64(c) / float64(topTotal[k.S])
+			cm.Top[k.S].Out = append(cm.Top[k.S].Out, TransitionParam{
+				Event:   k.E,
+				P:       p,
+				Sojourn: FitSojourn(a.TopSoj[k], opt.SojournKind),
+			})
+		}
 	}
 	// Bottom level, with competing-risks censoring. The state-level
 	// delay marginal is estimated with Kaplan–Meier (SojournTable kind)
@@ -526,13 +537,20 @@ func (a *acc) build(m *sm.Machine, opt FitOptions) ClusterModel {
 				}
 			}
 		}
-		for k, c := range a.BotCount {
-			p := float64(c) / float64(botTotal[k.S])
-			cm.Bottom[k.S].Out = append(cm.Bottom[k.S].Out, TransitionParam{
-				Event:   k.E,
-				P:       p,
-				Sojourn: FitSojourn(a.BotSoj[k], opt.SojournKind),
-			})
+		for s := 0; s < m.NumStates(); s++ {
+			for _, e := range cp.EventTypes {
+				k := botKey{S: sm.State(s), E: e}
+				c, ok := a.BotCount[k]
+				if !ok {
+					continue
+				}
+				p := float64(c) / float64(botTotal[k.S])
+				cm.Bottom[k.S].Out = append(cm.Bottom[k.S].Out, TransitionParam{
+					Event:   k.E,
+					P:       p,
+					Sojourn: FitSojourn(a.BotSoj[k], opt.SojournKind),
+				})
+			}
 		}
 		for s := 0; s < m.NumStates(); s++ {
 			fired := firedBy[s]

@@ -307,19 +307,23 @@ func (a *streamAcc) finalize() *acc {
 	out.WithEv = a.WithEv
 	out.NumUEs = a.NumUEs
 	out.Cells = a.Cells
-	for k, l := range a.TopSoj {
-		out.TopSoj[k] = taggedFloats(l)
-	}
-	for k, l := range a.BotSoj {
-		out.BotSoj[k] = taggedFloats(l)
-	}
-	for k, l := range a.BotCensor {
-		out.BotCensor[k] = taggedFloats(l)
-	}
-	for k, l := range a.FreeIA {
-		out.FreeIA[k] = taggedFloats(l)
-	}
+	out.TopSoj = mapApply(a.TopSoj, taggedFloats)
+	out.BotSoj = mapApply(a.BotSoj, taggedFloats)
+	out.BotCensor = mapApply(a.BotCensor, taggedFloats)
+	out.FreeIA = mapApply(a.FreeIA, taggedFloats)
 	out.FirstOff = taggedFloats(a.FirstOff)
+	return out
+}
+
+// mapApply rebuilds a map with f applied to every value. f must be
+// value-pure: it may only look at the one value it is handed, so the
+// map's iteration order cannot leak into any output.
+func mapApply[K comparable, V, W any](src map[K]V, f func(V) W) map[K]W {
+	out := make(map[K]W, len(src))
+	//cplint:ordered-ok each key is written once into its own slot and f is value-pure by contract
+	for k, v := range src {
+		out[k] = f(v)
+	}
 	return out
 }
 
@@ -361,18 +365,11 @@ func unionAcc(parts []*streamAcc) *acc {
 		}
 		firstOff = append(firstOff, p.FirstOff)
 	}
-	for k, ls := range topSoj {
-		out.TopSoj[k] = mergeTagged(ls...)
-	}
-	for k, ls := range botSoj {
-		out.BotSoj[k] = mergeTagged(ls...)
-	}
-	for k, ls := range botCen {
-		out.BotCensor[k] = mergeTagged(ls...)
-	}
-	for k, ls := range freeIA {
-		out.FreeIA[k] = mergeTagged(ls...)
-	}
+	mergeAll := func(ls [][]taggedVal) []float64 { return mergeTagged(ls...) }
+	out.TopSoj = mapApply(topSoj, mergeAll)
+	out.BotSoj = mapApply(botSoj, mergeAll)
+	out.BotCensor = mapApply(botCen, mergeAll)
+	out.FreeIA = mapApply(freeIA, mergeAll)
 	out.FirstOff = mergeTagged(firstOff...)
 	return out
 }

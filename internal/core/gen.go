@@ -395,6 +395,8 @@ func pickByCum(cum []float64, u float64) int {
 }
 
 // Next returns the UE's next event, or ok=false when the window is done.
+//
+//cplint:hotpath compiled engine steady state; TestUEGenSteadyStateAllocs gates it at exactly 0 allocs
 func (g *ueGen) Next() (trace.Event, bool) {
 	for {
 		if g.qhead < len(g.queue) {
@@ -429,6 +431,7 @@ func (g *ueGen) cellAt(t cp.Millis) *cCell {
 	return &g.cd.cells[h][cl+1]
 }
 
+//cplint:hotpath appends into the reused ring-buffer queue
 func (g *ueGen) push(t cp.Millis, e cp.EventType) {
 	g.queue = append(g.queue, trace.Event{T: t, UE: g.ue, Type: e})
 }
@@ -481,6 +484,8 @@ func (g *ueGen) startup() {
 
 // step advances the two-level race by one firing, pushing the resulting
 // event(s) onto the queue (or marking the generator exhausted).
+//
+//cplint:hotpath the compiled engine step: runs once per generated event
 func (g *ueGen) step() {
 	next := cp.Millis(math.MaxInt64)
 	kind := 0 // 0 none, 1 top, 2 bottom, 3 free
@@ -543,6 +548,7 @@ func (g *ueGen) step() {
 	}
 }
 
+//cplint:hotpath one draw per top-level firing
 func (g *ueGen) drawTop(now cp.Millis) {
 	g.topP = pending{}
 	trans := g.cellAt(now).top[g.top]
@@ -569,6 +575,7 @@ func pickByCum2(trans []cTopTrans, u float64) int {
 	return len(trans) - 1
 }
 
+//cplint:hotpath one draw per bottom-level firing
 func (g *ueGen) drawBot(now cp.Millis) {
 	g.botP = pending{}
 	bs := &g.cellAt(now).bottom[g.bottom]
@@ -600,6 +607,7 @@ func (g *ueGen) drawBot(now cp.Millis) {
 	g.botP = pending{at: now + cp.MillisFromSeconds(d), ev: tp.ev, valid: true, toBot: tp.to}
 }
 
+//cplint:hotpath re-arms every free-event clock after a macro transition
 func (g *ueGen) drawFree(now cp.Millis) {
 	for i := range g.freeOn {
 		g.freeOn[i] = false
@@ -616,6 +624,7 @@ func (g *ueGen) drawFree(now cp.Millis) {
 	}
 }
 
+//cplint:hotpath re-arms one free-event clock after it fires
 func (g *ueGen) redrawOneFree(e cp.EventType, now cp.Millis) {
 	free := g.cellAt(now).free
 	for i := range free {

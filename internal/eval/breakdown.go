@@ -37,14 +37,18 @@ type Breakdown struct {
 func ComputeBreakdown(tr *trace.Trace, d cp.DeviceType) Breakdown {
 	counts := make(map[string]int, len(BreakdownKeys))
 	total := 0
-	for ue, evs := range tr.PerUE() {
+	per := tr.PerUE()
+	for _, ue := range tr.UEs() {
+		evs := per[ue]
 		if tr.Device[ue] != d || len(evs) == 0 {
 			continue
 		}
 		b := sm.MacroBreakdown(evs, sm.InferMacroInitial(evs))
-		for e, states := range b {
-			for s, c := range states {
-				counts[breakdownKey(e, s)] += c
+		for _, e := range cp.EventTypes {
+			states := b[e]
+			for s := 0; s < cp.NumUEStates; s++ {
+				c := states[cp.UEState(s)]
+				counts[breakdownKey(e, cp.UEState(s))] += c
 				total += c
 			}
 		}
@@ -89,7 +93,8 @@ func BreakdownDiff(real, syn Breakdown) map[string]float64 {
 // 0.8%").
 func MaxAbsDiff(diff map[string]float64) float64 {
 	var max float64
-	for _, v := range diff {
+	for _, k := range BreakdownKeys {
+		v := diff[k]
 		if v < 0 {
 			v = -v
 		}

@@ -14,7 +14,8 @@ import (
 func PointProcess(tr *trace.Trace, ues map[cp.UEID]bool, q Quantity) []float64 {
 	var times []float64
 	per := tr.PerUE()
-	for ue, evs := range per {
+	for _, ue := range tr.UEs() {
+		evs := per[ue]
 		if ues != nil && !ues[ue] {
 			continue
 		}

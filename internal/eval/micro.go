@@ -33,7 +33,9 @@ func EventsPerUE(tr *trace.Trace, d cp.DeviceType, e cp.EventType) []float64 {
 // CONNECTED/IDLE sojourn CDFs of Table 5.
 func StateSojourns(tr *trace.Trace, d cp.DeviceType, s cp.UEState) []float64 {
 	var out []float64
-	for ue, evs := range tr.PerUE() {
+	per := tr.PerUE()
+	for _, ue := range tr.UEs() {
+		evs := per[ue]
 		if tr.Device[ue] != d || len(evs) == 0 {
 			continue
 		}

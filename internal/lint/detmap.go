@@ -1,0 +1,477 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetMap flags `range` over a map inside the determinism-critical
+// packages unless the loop body is provably order-insensitive or the
+// site carries a //cplint:ordered-ok <reason> annotation. It also
+// flags maps.Keys / maps.Values calls whose result is not immediately
+// sorted.
+//
+// "Provably order-insensitive" is deliberately narrow — exactly the
+// shapes the determinism audit in PR 1 and PR 3 established as safe:
+//
+//   - writes into outer containers indexed by the iteration key
+//     (dst[k] = v): each key owns its slot, so order cannot matter;
+//   - commutative accumulation into integer or boolean outer state
+//     (n++, n += v, bits |= f): exact in any order — while float
+//     += / -= / *= is always order-sensitive (summation order changes
+//     the last ulp, which changes the saved model bytes);
+//   - the collect-then-sort idiom: a body that only appends keys or
+//     values to a slice that is sorted by the statement immediately
+//     after the loop;
+//   - writes to variables declared inside the loop body (fresh per
+//     iteration, no cross-iteration state).
+//
+// Everything else — early return/break, plain assignment to outer
+// variables, calls that can observe iteration order — is flagged: fix
+// it by iterating sorted keys, or annotate the loop with a reason.
+var DetMap = &Analyzer{
+	Name: "detmap",
+	Doc:  "flags nondeterministic map iteration in determinism-critical packages",
+	Run:  runDetMap,
+}
+
+func runDetMap(pass *Pass) error {
+	gated := inDetPackage(pass.Pkg.Path)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if !gated {
+					// Outside the gated packages the check does not
+					// run, but an ordered-ok annotation on a map range
+					// is still legitimately attached — claim it so
+					// directive hygiene does not call it a mistake.
+					if t := pass.Pkg.Info.TypeOf(n.X); t != nil {
+						if _, ok := t.Underlying().(*types.Map); ok {
+							directiveAt(pass.Pkg, DirOrderedOK, n.For)
+						}
+					}
+					return true
+				}
+				checkMapRange(pass, f, n)
+			case *ast.CallExpr:
+				if gated {
+					checkMapsKeysCall(pass, f, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, file *ast.File, rs *ast.RangeStmt) {
+	t := pass.Pkg.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if d := directiveAt(pass.Pkg, DirOrderedOK, rs.For); d != nil {
+		return // justified by the annotation; reason checked by validateDirectives
+	}
+	if reason := orderSensitive(pass, file, rs); reason != "" {
+		pass.Reportf(rs.For, "range over map %s has nondeterministic iteration order: %s; iterate sorted keys or annotate //cplint:ordered-ok <reason>",
+			types.ExprString(rs.X), reason)
+	}
+}
+
+// orderSensitive returns "" if every effect of the loop body is
+// provably order-insensitive, else a description of the first
+// order-sensitive construct found.
+func orderSensitive(pass *Pass, file *ast.File, rs *ast.RangeStmt) string {
+	info := pass.Pkg.Info
+	key := rangeVarObj(info, rs.Key)
+	val := rangeVarObj(info, rs.Value)
+
+	// An object is loop-local if it is declared inside the range
+	// statement (including the key/value vars themselves): writes to
+	// loop-locals carry no state across iterations.
+	local := func(obj types.Object) bool {
+		return obj != nil && rs.Pos() <= obj.Pos() && obj.Pos() < rs.End()
+	}
+	usesKey := func(e ast.Expr) bool {
+		if key == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == key {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	if ok := collectThenSort(pass, file, rs, key, val); ok {
+		return ""
+	}
+
+	var verdict string
+	flag := func(why string) {
+		if verdict == "" {
+			verdict = why
+		}
+	}
+
+	// checkWrite judges one assignment target.
+	checkWrite := func(lhs ast.Expr, commutative bool) {
+		root, keyed := writeRoot(info, lhs, usesKey)
+		switch {
+		case root == nil:
+			flag("write through " + types.ExprString(lhs) + " cannot be proven order-insensitive")
+		case local(root):
+			// fresh per iteration
+		case keyed:
+			// dst[k] = ... — slot owned by this key
+		case commutative:
+			// n += v and friends, already vetted for integer/bool type
+		default:
+			flag("assignment to " + root.Name() + " (declared outside the loop) depends on iteration order")
+		}
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if verdict != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if isBlank(lhs) {
+					continue
+				}
+				comm := false
+				switch n.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+					token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+					if isExactAccum(info.TypeOf(lhs)) {
+						comm = true
+					} else {
+						flag(types.ExprString(lhs) + " " + n.Tok.String() + " on " + typeName(info.TypeOf(lhs)) + " accumulates in iteration order (float partial sums differ per order)")
+						return false
+					}
+				case token.SHL_ASSIGN, token.SHR_ASSIGN, token.QUO_ASSIGN, token.REM_ASSIGN:
+					flag(types.ExprString(lhs) + " " + n.Tok.String() + " is not commutative")
+					return false
+				}
+				_ = i
+				checkWrite(lhs, comm)
+			}
+		case *ast.IncDecStmt:
+			if isExactAccum(info.TypeOf(n.X)) {
+				checkWrite(n.X, true)
+			} else {
+				checkWrite(n.X, false)
+			}
+		case *ast.CallExpr:
+			if why := checkLoopCall(info, n, rs, usesKey); why != "" {
+				flag(why)
+				return false
+			}
+		case *ast.ReturnStmt:
+			flag("return inside the loop selects a map-order-dependent element")
+			return false
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				flag(n.Tok.String() + " inside the loop exits after a map-order-dependent prefix")
+				return false
+			}
+		case *ast.SendStmt:
+			flag("channel send inside the loop publishes elements in map order")
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				flag("channel receive inside the loop consumes in map order")
+				return false
+			}
+		case *ast.GoStmt, *ast.DeferStmt:
+			flag("go/defer inside the loop schedules work in map order")
+			return false
+		}
+		return true
+	})
+	return verdict
+}
+
+// checkLoopCall judges a call inside a map-range body. Builtins that
+// cannot observe order are fine; delete is fine when the deleted key
+// is the iteration key (per spec, deleting the current entry during
+// range is well-defined); any other call could observe or record the
+// iteration order, so it is not provable.
+func checkLoopCall(info *types.Info, call *ast.CallExpr, rs *ast.RangeStmt, usesKey func(ast.Expr) bool) string {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return "" // conversion, not a call
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fn].(*types.Builtin); ok {
+			switch b.Name() {
+			case "len", "cap", "min", "max", "abs", "real", "imag", "complex", "make", "new":
+				return ""
+			case "append", "copy", "clear":
+				// append's effect is judged by the assignment it feeds
+				// (x = append(x, ...)); bare copy/clear into outer
+				// state is order-dependent only via its target, which
+				// conservatively we do not chase.
+				return ""
+			case "delete":
+				if len(call.Args) == 2 && usesKey(call.Args[1]) {
+					return ""
+				}
+				return "delete with a key not derived from the iteration key mutates the map in iteration order"
+			case "panic", "print", "println":
+				return "builtin " + b.Name() + " inside the loop observes iteration order"
+			default:
+				return ""
+			}
+		}
+		if _, ok := info.Uses[fn].(*types.TypeName); ok {
+			return "" // conversion
+		}
+	case *ast.SelectorExpr:
+		_ = fn
+	default:
+		if _, ok := info.Types[call.Fun]; ok && info.Types[call.Fun].IsType() {
+			return "" // conversion like pkg.T(x)
+		}
+	}
+	return "call to " + types.ExprString(call.Fun) + " may observe iteration order"
+}
+
+// writeRoot unwraps an assignment target to its root object and
+// reports whether the access path goes through an index derived from
+// the iteration key (dst[k], dst[k].field, s.m[k]...).
+func writeRoot(info *types.Info, lhs ast.Expr, usesKey func(ast.Expr) bool) (types.Object, bool) {
+	keyed := false
+	for {
+		switch e := lhs.(type) {
+		case *ast.Ident:
+			if obj, ok := info.Uses[e]; ok {
+				return obj, keyed
+			}
+			if obj, ok := info.Defs[e]; ok {
+				return obj, keyed
+			}
+			return nil, keyed
+		case *ast.IndexExpr:
+			if usesKey(e.Index) {
+				keyed = true
+			}
+			lhs = e.X
+		case *ast.SelectorExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.ParenExpr:
+			lhs = e.X
+		default:
+			return nil, keyed
+		}
+	}
+}
+
+// collectThenSort recognizes the canonical sort-the-keys prelude:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Slice/sort.Strings/slices.Sort...(keys...)
+//
+// The append itself is order-sensitive, but the immediately following
+// sort canonicalizes the slice before anything can observe it.
+func collectThenSort(pass *Pass, file *ast.File, rs *ast.RangeStmt, key, val types.Object) bool {
+	info := pass.Pkg.Info
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN && as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	dstObj := info.Uses[dst]
+	if dstObj == nil {
+		dstObj = info.Defs[dst]
+	}
+	if dstObj == nil {
+		return false
+	}
+	// The statement right after the range must sort dst.
+	next := stmtAfter(file, rs)
+	es, ok := next.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	sortCall, ok := es.X.(*ast.CallExpr)
+	if !ok || !isSortFunc(info, sortCall.Fun) || len(sortCall.Args) == 0 {
+		return false
+	}
+	arg, ok := sortCall.Args[0].(*ast.Ident)
+	return ok && info.Uses[arg] == dstObj
+}
+
+// stmtAfter returns the statement that lexically follows stmt in its
+// enclosing block, or nil.
+func stmtAfter(file *ast.File, stmt ast.Stmt) ast.Stmt {
+	var found ast.Stmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, s := range block.List {
+			if s == stmt && i+1 < len(block.List) {
+				found = block.List[i+1]
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSortFunc(info *types.Info, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sort":
+		switch obj.Name() {
+		case "Ints", "Strings", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices", "golang.org/x/exp/slices":
+		switch obj.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// checkMapsKeysCall flags maps.Keys / maps.Values unless the call is
+// the direct argument of slices.Sorted / slices.SortedFunc /
+// slices.SortedStableFunc (the only wrapping that canonicalizes the
+// order before anything can observe it).
+func checkMapsKeysCall(pass *Pass, file *ast.File, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	path := obj.Pkg().Path()
+	if path != "maps" && path != "golang.org/x/exp/maps" {
+		return
+	}
+	if obj.Name() != "Keys" && obj.Name() != "Values" {
+		return
+	}
+	if sortedWraps(info, file, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "maps.%s yields elements in nondeterministic order; wrap in slices.Sorted(...) or iterate sorted keys", obj.Name())
+}
+
+// sortedWraps reports whether call appears as the direct argument of a
+// slices.Sorted* call.
+func sortedWraps(info *types.Info, file *ast.File, call *ast.CallExpr) bool {
+	ok := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		outer, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		sel, isSel := outer.Fun.(*ast.SelectorExpr)
+		if !isSel {
+			return true
+		}
+		fo, isFn := info.Uses[sel.Sel].(*types.Func)
+		if !isFn || fo.Pkg() == nil {
+			return true
+		}
+		if fo.Pkg().Path() != "slices" && fo.Pkg().Path() != "golang.org/x/exp/slices" {
+			return true
+		}
+		switch fo.Name() {
+		case "Sorted", "SortedFunc", "SortedStableFunc", "Collect":
+			// slices.Collect is only safe if itself sorted; treat only
+			// Sorted* as safe.
+			if fo.Name() == "Collect" {
+				return true
+			}
+			if len(outer.Args) > 0 && outer.Args[0] == call {
+				ok = true
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj, ok := info.Defs[id]; ok && obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isExactAccum reports whether accumulating into t is exact in any
+// order: integers (wraparound + and * are fully commutative and
+// associative) and booleans. Floats and strings are not.
+func isExactAccum(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsInteger|types.IsBoolean) != 0
+}
+
+func typeName(t types.Type) string {
+	if t == nil {
+		return "<unknown>"
+	}
+	return t.String()
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetSource forbids ambient nondeterminism sources — wall clocks,
+// process environment, and the math/rand global source — inside the
+// determinism-critical packages. Seeds and clocks must flow in through
+// parameters (stats.RNG carries the seed; event times come from the
+// trace), so that the same inputs always produce the same output
+// bytes. CLIs under cmd/ may read clocks and the environment freely;
+// they are exempt because the gate only covers DetPackages.
+//
+// Explicit-source constructors (rand.New, rand.NewSource, rand.NewPCG,
+// rand.NewZipf) are allowed: a seeded source is deterministic. Every
+// package-level math/rand function draws from the process-global
+// source and is banned, as is referencing one as a function value.
+var DetSource = &Analyzer{
+	Name: "detsource",
+	Doc:  "forbids wall clocks, environment reads, and global rand in determinism-critical packages",
+	Run:  runDetSource,
+}
+
+// bannedFuncs maps package path -> function name -> replacement hint.
+var bannedFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "take the time as a parameter (cp.Millis flows through the pipeline)",
+		"Since": "compute durations from parameter-passed timestamps",
+		"Until": "compute durations from parameter-passed timestamps",
+	},
+	"os": {
+		"Getenv":    "thread configuration through options structs",
+		"LookupEnv": "thread configuration through options structs",
+		"Environ":   "thread configuration through options structs",
+	},
+}
+
+// randConstructors are the explicit-source math/rand functions that
+// remain allowed; everything else at package level draws from the
+// global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runDetSource(pass *Pass) error {
+	if !inDetPackage(pass.Pkg.Path) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods (e.g. t.Sub on a passed-in time) are fine
+			}
+			path, name := fn.Pkg().Path(), fn.Name()
+			if hint, bad := bannedFuncs[path][name]; bad {
+				pass.Reportf(sel.Pos(), "%s.%s is nondeterministic; %s", path, name, hint)
+				return true
+			}
+			if (path == "math/rand" || path == "math/rand/v2") && !randConstructors[name] {
+				pass.Reportf(sel.Pos(), "%s.%s draws from the process-global source; construct an explicit seeded source (stats.NewRNG) and thread it through", path, name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package lint
+
+import "testing"
+
+// Each analyzer runs alone against its fixture package; expectations
+// are the // want comments inside the fixtures.
+
+func TestDetMapFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{DetMap}, "cptraffic/internal/core")
+}
+
+func TestDetSourceFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{DetSource}, "cptraffic/internal/stats")
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{HotAlloc}, "cptraffic/internal/hot")
+}
+
+func TestParShareFixture(t *testing.T) {
+	runFixture(t, []*Analyzer{ParShare}, "cptraffic/internal/eval")
+}
+
+// TestNonDetPackageIsExempt runs the whole suite over a package outside
+// the determinism-critical list: its order-sensitive map range and
+// time.Now call must not be reported.
+func TestNonDetPackageIsExempt(t *testing.T) {
+	if diags := runFixture(t, All(), "cptraffic/internal/util"); len(diags) != 0 {
+		t.Errorf("want no diagnostics outside determinism-critical packages, got %d", len(diags))
+	}
+}
+
+// TestTreeClean pins the invariant `make lint` enforces: the real
+// module, loaded fresh (no fixture shadowing), produces zero
+// diagnostics under the full suite.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	var l Loader
+	pkgs, err := l.Load("cptraffic/...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("go list matched no packages")
+	}
+	for _, d := range Analyze(pkgs, All()) {
+		t.Errorf("tree not clean: %s", d)
+	}
+}

@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer so these checks would port
+// to the upstream driver unchanged.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass is one analyzer applied to one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, addressed by resolved position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// DetPackages lists the determinism-critical packages, by import-path
+// suffix: the model-fitting and generation core, the ground-truth
+// simulator, the state machines, the numeric kernels, the clusterer,
+// the trace codecs, the evaluation sweeps, and the table renderer.
+// detmap and detsource enforce their invariants only inside these
+// packages; cmd/ CLIs (flag parsing, wall-clock logging) are exempt by
+// omission.
+var DetPackages = []string{
+	"internal/core",
+	"internal/world",
+	"internal/sm",
+	"internal/stats",
+	"internal/cluster",
+	"internal/trace",
+	"internal/eval",
+	"internal/report",
+}
+
+// inDetPackage reports whether path is one of the determinism-critical
+// packages (by whole-segment suffix match, so fixture paths like
+// "cptraffic/internal/core" under testdata qualify too).
+func inDetPackage(path string) bool {
+	for _, p := range DetPackages {
+		if path == p || strings.HasSuffix(path, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the full cplint suite in its canonical order.
+func All() []*Analyzer {
+	return []*Analyzer{DetMap, DetSource, HotAlloc, ParShare}
+}
+
+// Analyze runs the given analyzers over the given packages and returns
+// the merged diagnostics sorted by position. Directive hygiene
+// (unknown //cplint: names, missing reasons, annotations attached to
+// nothing) is validated here, after every analyzer has had the chance
+// to claim its directives.
+func Analyze(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Fset: fsetOf(pkg), Pkg: pkg, report: collect}
+			if err := a.Run(pass); err != nil {
+				collect(Diagnostic{
+					Analyzer: a.Name,
+					Pos:      fsetOf(pkg).Position(pkg.Files[0].Package),
+					Message:  fmt.Sprintf("internal error: %v", err),
+				})
+			}
+		}
+		validateDirectives(pkg, analyzers, collect)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// fsetOf recovers the FileSet a package was parsed with. Packages are
+// always produced by a Loader, which threads one shared FileSet; the
+// pass just needs access to it for position resolution.
+func fsetOf(pkg *Package) *token.FileSet {
+	return pkg.fset
+}
+
+// ---- //cplint: directives ----
+
+// Directive names understood by the suite.
+const (
+	DirOrderedOK = "ordered-ok" // on a range-over-map: order-insensitivity is argued by the reason
+	DirHotPath   = "hotpath"    // on a func decl: the body must not allocate
+)
+
+// A Directive is one parsed //cplint:<name> <reason> comment.
+type Directive struct {
+	Pos    token.Pos
+	File   string
+	Line   int
+	Name   string
+	Reason string
+
+	used bool // claimed by a matching node during analysis
+}
+
+const dirPrefix = "//cplint:"
+
+// parseDirectives extracts every //cplint: comment from the files.
+// Syntax errors (unknown name, missing reason) are kept as directives
+// with their problems diagnosed by validateDirectives, so one malformed
+// annotation cannot silence an analyzer.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []*Directive {
+	var dirs []*Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, dirPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, dirPrefix)
+				name, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				dirs = append(dirs, &Directive{
+					Pos:    c.Pos(),
+					File:   pos.Filename,
+					Line:   pos.Line,
+					Name:   name,
+					Reason: strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return dirs
+}
+
+// directiveAt returns the package's directive of the given name
+// attached to the node starting at pos: on the same line (trailing
+// comment) or on the line immediately above. It marks the directive
+// used so validateDirectives can flag the ones attached to nothing.
+func directiveAt(pkg *Package, name string, pos token.Pos) *Directive {
+	p := pkg.fset.Position(pos)
+	for _, d := range pkg.directives {
+		if d.Name != name || d.File != p.Filename {
+			continue
+		}
+		if d.Line == p.Line || d.Line == p.Line-1 {
+			d.used = true
+			return d
+		}
+	}
+	return nil
+}
+
+// claimDoc marks directives inside a func declaration's doc comment
+// (any line between doc start and the decl line) as attached to it.
+func claimDoc(pkg *Package, name string, doc *ast.CommentGroup, declPos token.Pos) *Directive {
+	if doc == nil {
+		return directiveAt(pkg, name, declPos)
+	}
+	start := pkg.fset.Position(doc.Pos()).Line
+	p := pkg.fset.Position(declPos)
+	for _, d := range pkg.directives {
+		if d.Name != name || d.File != p.Filename {
+			continue
+		}
+		if d.Line >= start && d.Line <= p.Line {
+			d.used = true
+			return d
+		}
+	}
+	return nil
+}
+
+// directiveOwner maps each directive name to the analyzer that claims
+// it; hygiene for a name is only enforced when its owner ran, so a
+// single-analyzer fixture test is not polluted by the other's
+// directives.
+var directiveOwner = map[string]string{
+	DirOrderedOK: "detmap",
+	DirHotPath:   "hotalloc",
+}
+
+func validateDirectives(pkg *Package, ran []*Analyzer, report func(Diagnostic)) {
+	names := make(map[string]bool, len(ran))
+	for _, a := range ran {
+		names[a.Name] = true
+	}
+	pos := func(d *Directive) token.Position { return pkg.fset.Position(d.Pos) }
+	for _, d := range pkg.directives {
+		owner, known := directiveOwner[d.Name]
+		if !known {
+			report(Diagnostic{
+				Analyzer: "cplint",
+				Pos:      pos(d),
+				Message:  fmt.Sprintf("unknown directive //cplint:%s (known: %s, %s)", d.Name, DirOrderedOK, DirHotPath),
+			})
+			continue
+		}
+		if !names[owner] {
+			continue
+		}
+		if d.Name == DirOrderedOK && d.Reason == "" {
+			report(Diagnostic{
+				Analyzer: owner,
+				Pos:      pos(d),
+				Message:  "//cplint:ordered-ok needs a reason: //cplint:ordered-ok <why this loop is order-insensitive>",
+			})
+			continue
+		}
+		if !d.used {
+			var want string
+			switch d.Name {
+			case DirOrderedOK:
+				want = "a range-over-map statement"
+			case DirHotPath:
+				want = "a function declaration"
+			}
+			report(Diagnostic{
+				Analyzer: owner,
+				Pos:      pos(d),
+				Message:  fmt.Sprintf("//cplint:%s is not attached to %s", d.Name, want),
+			})
+		}
+	}
+}

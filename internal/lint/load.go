@@ -1,0 +1,280 @@
+// Package lint implements the cplint static-analysis suite: a small,
+// dependency-free clone of the golang.org/x/tools/go/analysis driver
+// plus the four repo-specific analyzers (detmap, detsource, hotalloc,
+// parshare) that turn this repo's determinism, hot-path, and
+// concurrency invariants into build errors.
+//
+// The framework mirrors the go/analysis API (Analyzer, Pass, Reportf)
+// so the analyzers would port to the upstream driver verbatim, but it
+// is built entirely on the standard library: packages are enumerated
+// with `go list -deps -json` and type-checked from source with
+// go/types, including the standard-library closure. The build
+// container has no module proxy, so vendoring x/tools is not an
+// option; ~100 packages type-check from source in a few seconds, which
+// is fine for a pre-commit gate.
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path as the type checker sees it
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	fset       *token.FileSet
+	directives []*Directive
+	typeErrs   []types.Error
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+}
+
+// A Loader enumerates, parses, and type-checks packages. Dependencies
+// are resolved through `go list` (run in Dir) and type-checked from
+// source; results are cached per Loader, so fixture tests share one
+// standard-library type-check.
+type Loader struct {
+	// Dir is the directory `go list` runs in; it must be inside a Go
+	// module. Empty means the current directory.
+	Dir string
+
+	// Fixtures maps import paths to directories holding their sources,
+	// consulted before `go list`. Tests use this to load analysistest
+	// fixture trees from testdata/src without touching the module.
+	Fixtures map[string]string
+
+	fset    *token.FileSet
+	meta    map[string]*listPkg
+	checked map[string]*Package
+}
+
+// Fset returns the loader's shared file set, creating it on first use.
+func (l *Loader) Fset() *token.FileSet {
+	if l.fset == nil {
+		l.fset = token.NewFileSet()
+	}
+	return l.fset
+}
+
+// AddFixtureTree registers every package directory under root (a
+// GOPATH-style src tree: the path of a package is its directory
+// relative to root) for subsequent Load calls.
+func (l *Loader) AddFixtureTree(root string) error {
+	if l.Fixtures == nil {
+		l.Fixtures = make(map[string]string)
+	}
+	return filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || !info.IsDir() {
+			return err
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				l.Fixtures[filepath.ToSlash(rel)] = path
+				break
+			}
+		}
+		return nil
+	})
+}
+
+// Load type-checks the packages matched by the given `go list`
+// patterns (plus their dependency closure) and returns the matched
+// packages only, sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	paths, err := l.list(false, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return l.LoadPaths(paths...)
+}
+
+// LoadPaths type-checks exactly the named import paths (fixture paths
+// or module/stdlib paths) and returns them in the given order.
+func (l *Loader) LoadPaths(paths ...string) ([]*Package, error) {
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.check(p)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.typeErrs) > 0 {
+			return nil, fmt.Errorf("type-checking %s: %v (and %d more)", p, pkg.typeErrs[0], len(pkg.typeErrs)-1)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// list runs `go list` and returns matched import paths; with deps it
+// also fills the metadata cache for the whole dependency closure.
+func (l *Loader) list(deps bool, patterns ...string) ([]string, error) {
+	args := []string{"list", "-e", "-json=ImportPath,Dir,GoFiles,Standard"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	if l.meta == nil {
+		l.meta = make(map[string]*listPkg)
+	}
+	var paths []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("go list -json: %v", err)
+		}
+		if _, ok := l.meta[p.ImportPath]; !ok {
+			l.meta[p.ImportPath] = p
+		}
+		paths = append(paths, p.ImportPath)
+	}
+	if deps {
+		// -deps emits dependencies first; the matched patterns are the
+		// trailing entries, but callers of list(true, ...) only want the
+		// cache side effect.
+		return paths, nil
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// metaFor returns go list metadata for path, querying the go command
+// on a cache miss (this pulls in the path's own dependency closure).
+func (l *Loader) metaFor(path string) (*listPkg, error) {
+	if m, ok := l.meta[path]; ok {
+		return m, nil
+	}
+	if _, err := l.list(true, path); err != nil {
+		return nil, err
+	}
+	m, ok := l.meta[path]
+	if !ok {
+		return nil, fmt.Errorf("package %q not found by go list", path)
+	}
+	return m, nil
+}
+
+// check parses and type-checks one package (and, recursively, its
+// imports), caching the result.
+func (l *Loader) check(path string) (*Package, error) {
+	if l.checked == nil {
+		l.checked = make(map[string]*Package)
+	}
+	if pkg, ok := l.checked[path]; ok {
+		return pkg, nil
+	}
+
+	var dir string
+	var files []string
+	if fdir, ok := l.Fixtures[path]; ok {
+		ents, err := os.ReadDir(fdir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			name := e.Name()
+			if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+				files = append(files, name)
+			}
+		}
+		sort.Strings(files)
+		dir = fdir
+	} else {
+		m, err := l.metaFor(path)
+		if err != nil {
+			return nil, err
+		}
+		dir, files = m.Dir, m.GoFiles
+	}
+
+	fset := l.Fset()
+	pkg := &Package{Path: path, Dir: dir, fset: fset}
+	for _, name := range files {
+		af, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", filepath.Join(dir, name), err)
+		}
+		pkg.Files = append(pkg.Files, af)
+	}
+
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(imp string) (*types.Package, error) {
+			if imp == "unsafe" {
+				return types.Unsafe, nil
+			}
+			// Fixture trees shadow the module: "cptraffic/internal/par"
+			// inside testdata resolves to the fixture stub, not the
+			// real package, so fixtures stay self-contained.
+			dep, err := l.check(imp)
+			if err != nil {
+				return nil, err
+			}
+			return dep.Types, nil
+		}),
+		Error: func(err error) {
+			if te, ok := err.(types.Error); ok && !te.Soft {
+				pkg.typeErrs = append(pkg.typeErrs, te)
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, fset, pkg.Files, pkg.Info)
+	pkg.Types = tpkg
+	// Cache before surfacing type errors so diamond imports do not
+	// re-check a broken package; hard errors are reported by LoadPaths.
+	l.checked[path] = pkg
+	if err != nil && len(pkg.typeErrs) == 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	pkg.directives = parseDirectives(fset, pkg.Files)
+	return pkg, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ParShare inspects closures passed to par.Do / par.For and flags
+// writes to captured variables that are not index-disjoint. The par
+// pool's contract (DESIGN.md decision 2) is that every worker writes
+// only slots addressed by its own index — par.For hands each closure a
+// unique i, par.Do a unique worker id w — so the only writes a closure
+// may perform against captured state are:
+//
+//   - element writes into a captured slice/array where the index
+//     expression involves a variable local to the closure (the index
+//     parameter, or anything derived from it like i+off or a loop
+//     variable strided from w);
+//   - writes to variables declared inside the closure (worker-private
+//     state).
+//
+// Everything else is the shape of a data race: direct assignment to a
+// captured scalar (sum += x), any write into a captured map (concurrent
+// map writes race even on distinct keys), writes through captured
+// pointers, and field writes on captured structs.
+var ParShare = &Analyzer{
+	Name: "parshare",
+	Doc:  "flags non-index-disjoint writes to captured variables in par.Do/par.For closures",
+	Run:  runParShare,
+}
+
+// parCallees maps the par entry points to the argument position of
+// their worker closure.
+var parCallees = map[string]int{
+	"Do":  1, // Do(workers, fn)
+	"For": 2, // For(n, workers, fn)
+}
+
+func runParShare(pass *Pass) error {
+	if isParPackage(pass.Pkg.Path) {
+		return nil // the pool itself hands indices out; nothing to check
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !isParPackage(fn.Pkg().Path()) {
+				return true
+			}
+			argPos, ok := parCallees[fn.Name()]
+			if !ok || argPos >= len(call.Args) {
+				return true
+			}
+			lit, ok := call.Args[argPos].(*ast.FuncLit)
+			if !ok {
+				return true // named function: its body is checked wherever it is defined
+			}
+			checkParClosure(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+func isParPackage(path string) bool {
+	return path == "internal/par" || len(path) > len("internal/par") &&
+		path[len(path)-len("/internal/par"):] == "/internal/par"
+}
+
+func checkParClosure(pass *Pass, lit *ast.FuncLit) {
+	info := pass.Pkg.Info
+
+	closureLocal := func(obj types.Object) bool {
+		return obj != nil && lit.Pos() <= obj.Pos() && obj.Pos() < lit.End()
+	}
+	// indexOK reports whether an index expression involves at least one
+	// closure-local variable — the static marker of index-disjointness
+	// under the pool's unique-index contract.
+	indexOK := func(e ast.Expr) bool {
+		ok := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, isID := n.(*ast.Ident); isID {
+				if v, isVar := info.Uses[id].(*types.Var); isVar && closureLocal(v) {
+					ok = true
+				}
+			}
+			return !ok
+		})
+		return ok
+	}
+
+	checkTarget := func(lhs ast.Expr) {
+		pos := lhs.Pos()
+		var disjoint, sawCapturedRoot, throughMap, throughPtr bool
+		var rootName string
+	unwrap:
+		for {
+			switch e := lhs.(type) {
+			case *ast.Ident:
+				obj, _ := info.Uses[e].(*types.Var)
+				if obj == nil {
+					if d, isVar := info.Defs[e].(*types.Var); isVar {
+						obj = d
+					}
+				}
+				if obj == nil || closureLocal(obj) {
+					return // worker-private state
+				}
+				sawCapturedRoot = true
+				rootName = obj.Name()
+				break unwrap
+			case *ast.IndexExpr:
+				if t := info.TypeOf(e.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						throughMap = true
+					}
+				}
+				if indexOK(e.Index) {
+					disjoint = true
+				}
+				lhs = e.X
+			case *ast.SelectorExpr:
+				if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+					lhs = e.X
+					continue
+				}
+				// Qualified identifier (pkg.Var): a package-level
+				// variable is shared across every worker.
+				if obj, ok := info.Uses[e.Sel].(*types.Var); ok {
+					sawCapturedRoot = true
+					rootName = obj.Name()
+					break unwrap
+				}
+				lhs = e.X
+			case *ast.StarExpr:
+				throughPtr = true
+				lhs = e.X
+			case *ast.ParenExpr:
+				lhs = e.X
+			default:
+				return
+			}
+		}
+		if !sawCapturedRoot {
+			return
+		}
+		switch {
+		case throughMap:
+			pass.Reportf(pos, "write into captured map %s from a par worker: concurrent map writes race even on distinct keys; write into an index-disjoint slice and merge serially", rootName)
+		case throughPtr && !disjoint:
+			pass.Reportf(pos, "write through captured pointer %s is shared across par workers; write into a slot indexed by the worker's index", rootName)
+		case !disjoint:
+			pass.Reportf(pos, "write to captured %s is shared across par workers (the shape of a data race); write into a slot indexed by the worker's index and reduce serially", rootName)
+		}
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if !isBlank(lhs) {
+					checkTarget(lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			checkTarget(n.X)
+		case *ast.FuncLit:
+			// A nested closure inherits the same capture rules relative
+			// to the par closure; keep descending (closureLocal is
+			// judged against the outer lit, which is what matters for
+			// sharing across workers).
+			return true
+		case *ast.CallExpr:
+			// delete on a captured map is a map write.
+			if fn, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[fn].(*types.Builtin); ok && b.Name() == "delete" && len(n.Args) == 2 {
+					if root := exprRootObj(info, n.Args[0]); root != nil && !closureLocal(root) {
+						pass.Reportf(n.Pos(), "delete on captured map %s from a par worker races; collect deletions per worker and apply serially", root.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}

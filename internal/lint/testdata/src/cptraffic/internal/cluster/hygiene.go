@@ -1,0 +1,33 @@
+// Package cluster is the directive-hygiene fixture: malformed and
+// misplaced //cplint: annotations, checked by explicit assertions in
+// annotations_test.go (a directive occupies its whole line, so it
+// cannot also carry a want comment).
+package cluster
+
+// MissingReason annotates a map range without saying why.
+func MissingReason(m map[string]int, sink func(string)) {
+	//cplint:ordered-ok
+	for k := range m {
+		sink(k)
+	}
+}
+
+// WrongNode annotates a slice range: ordered-ok only applies to ranges
+// over maps.
+func WrongNode(xs []int) int {
+	n := 0
+	//cplint:ordered-ok this loop is not a map range
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+//cplint:hotpath a type declaration is not a function
+type NotAFunction struct{}
+
+// Unknown carries a typo'd directive name.
+func Unknown() int {
+	//cplint:frobnicate whatever
+	return 0
+}

@@ -1,0 +1,110 @@
+// Package core is the detmap fixture: it sits at a determinism-critical
+// import path, so every map range and maps.Keys call here is checked.
+package core
+
+import (
+	"maps"
+	"slices"
+	"sort"
+)
+
+// IntSum accumulates commutatively into an integer: order-insensitive.
+func IntSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// FloatSum folds floats in map order: the partial sums depend on it.
+func FloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `float partial sums differ per order`
+		sum += v
+	}
+	return sum
+}
+
+// KeyIndexed writes each key's own slot: order-insensitive.
+func KeyIndexed(src, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v * 2
+	}
+}
+
+// LastWins keeps whichever key the runtime happens to visit last.
+func LastWins(m map[string]int) string {
+	last := ""
+	for k := range m { // want `assignment to last \(declared outside the loop\)`
+		last = k
+	}
+	return last
+}
+
+// CollectThenSort is the canonical prelude: append, then immediately
+// sort, so nothing can observe the transient map order.
+func CollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CollectNoSort leaks map order into the returned slice.
+func CollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `assignment to keys \(declared outside the loop\)`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// EarlyReturn selects an arbitrary element.
+func EarlyReturn(m map[string]int) string {
+	for k, v := range m { // want `return inside the loop`
+		if v > 0 {
+			return k
+		}
+	}
+	return ""
+}
+
+// CallsOut hands elements to an arbitrary function in map order.
+func CallsOut(m map[string]int, sink func(string)) {
+	for k := range m { // want `call to sink may observe iteration order`
+		sink(k)
+	}
+}
+
+// DeleteCurrent deletes the key being visited: well-defined per spec.
+func DeleteCurrent(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// Annotated is unprovable (logf is a call) but carries a human
+// justification, so it is accepted.
+func Annotated(m map[string]int, logf func(string)) {
+	//cplint:ordered-ok logf is progress reporting only and ignores order
+	for k := range m {
+		logf(k)
+	}
+}
+
+// SortedKeys wraps maps.Keys in slices.Sorted: canonical order.
+func SortedKeys(m map[string]int) []string {
+	return slices.Sorted(maps.Keys(m))
+}
+
+// UnsortedKeys iterates the raw key sequence.
+func UnsortedKeys(m map[string]int, sink func(string)) {
+	for k := range maps.Keys(m) { // want `maps.Keys yields elements in nondeterministic order`
+		sink(k)
+	}
+}

@@ -1,0 +1,70 @@
+// Package eval is the parshare fixture: closures handed to par.Do and
+// par.For may only write captured state through index-disjoint slots.
+package eval
+
+import "cptraffic/internal/par"
+
+// Disjoint writes out[i], addressed by the closure's own index: the
+// layout every worker count produces is identical.
+func Disjoint(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	par.For(len(xs), 4, func(i int) {
+		out[i] = xs[i] * 2
+	})
+	return out
+}
+
+// Strided derives i inside the closure from the worker id: still
+// disjoint, still accepted.
+func Strided(n, workers int, out []int) {
+	par.Do(workers, func(w int) {
+		for i := w; i < n; i += workers {
+			out[i] = i
+		}
+	})
+}
+
+// SharedScalar accumulates into one captured variable from every
+// worker: the canonical data race.
+func SharedScalar(xs []float64) float64 {
+	var sum float64
+	par.For(len(xs), 4, func(i int) {
+		sum += xs[i] // want `write to captured sum is shared across par workers`
+	})
+	return sum
+}
+
+// SharedMap writes a captured map: concurrent map writes race even on
+// distinct keys.
+func SharedMap(keys []string) map[string]int {
+	m := make(map[string]int)
+	par.For(len(keys), 4, func(i int) {
+		m[keys[i]]++ // want `write into captured map m`
+	})
+	return m
+}
+
+// PointerWrite shares one slot through a captured pointer.
+func PointerWrite(p *int) {
+	par.Do(2, func(w int) {
+		*p = w // want `write through captured pointer p`
+	})
+}
+
+// FixedSlot writes one element from every worker: the index does not
+// involve any closure-local variable.
+func FixedSlot(out []int) {
+	par.Do(2, func(w int) {
+		out[0] = w // want `write to captured out is shared across par workers`
+	})
+}
+
+// PerWorkerAppend grows a worker-indexed bucket: the outer index is the
+// worker id, so the slot is disjoint even though append reassigns it.
+func PerWorkerAppend(n, workers int, bufs [][]int) {
+	par.Do(workers, func(w int) {
+		for i := w; i < n; i += workers {
+			bufs[w] = append(bufs[w], i)
+		}
+	})
+}

@@ -1,0 +1,74 @@
+// Package hot is the hotalloc fixture: only functions annotated
+// //cplint:hotpath are checked, wherever the package lives.
+package hot
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type enc struct {
+	buf []byte
+}
+
+// Format demonstrates the formatting anti-patterns on a hot path.
+//
+//cplint:hotpath fixture
+func (e *enc) Format(vals []int64) string {
+	s := ""
+	for _, v := range vals {
+		s += strconv.FormatInt(v, 10) // want `string \+= .* allocates on every loop iteration`
+	}
+	line := fmt.Sprintf("%d values", len(vals)) // want `fmt.Sprintf allocates`
+	return s + line
+}
+
+// Grow allocates and grows a throwaway slice.
+//
+//cplint:hotpath fixture
+func Grow(n int) []int {
+	out := make([]int, 0, n) // want `make\(\[\]int, 0, n\) allocates`
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `append grows out, a slice freshly allocated`
+	}
+	return out
+}
+
+// Reuse appends into a receiver-owned buffer reset with buf[:0] — the
+// sanctioned pattern, reported clean.
+//
+//cplint:hotpath fixture
+func (e *enc) Reuse(v int64) []byte {
+	b := append(e.buf[:0], 'v', ' ')
+	b = strconv.AppendInt(b, v, 10)
+	e.buf = b
+	return b
+}
+
+// Capture builds closures that pin their environment on the heap.
+//
+//cplint:hotpath fixture
+func Capture(xs []int, use func(func() int)) {
+	total := 0
+	for _, x := range xs {
+		use(func() int { return total + x }) // want `closure captures total` `closure captures x`
+	}
+}
+
+func sink(v any) { _ = v }
+
+// Box passes a concrete value to an interface parameter.
+//
+//cplint:hotpath fixture
+func Box(n int) {
+	sink(n) // want `argument n is boxed into interface`
+}
+
+// NotHot is Grow without the annotation: never checked.
+func NotHot(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+// Package stats is the detsource fixture: it sits at a
+// determinism-critical import path, so ambient clocks, environment
+// reads, and the global rand source are banned here.
+package stats
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Wallclock reads the ambient clock.
+func Wallclock() time.Time {
+	return time.Now() // want `time.Now is nondeterministic`
+}
+
+// FromEnv reads ambient process state.
+func FromEnv() string {
+	return os.Getenv("CPTRAFFIC_SEED") // want `os.Getenv is nondeterministic`
+}
+
+// GlobalRoll draws from the shared process-global source.
+func GlobalRoll() int {
+	return rand.Intn(6) // want `draws from the process-global source`
+}
+
+// Seeded constructs an explicit source: deterministic, allowed.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// SeededRoll draws from an explicit source: methods are fine.
+func SeededRoll(r *rand.Rand) int {
+	return r.Intn(6)
+}
+
+// Referencing a banned function as a value is just as nondeterministic
+// as calling it.
+var clock = time.Now // want `time.Now is nondeterministic`

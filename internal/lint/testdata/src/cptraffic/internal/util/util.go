@@ -1,0 +1,20 @@
+// Package util sits outside the determinism-critical package list:
+// detmap and detsource do not run here, so none of these (deliberately
+// order-sensitive) constructs are reported.
+package util
+
+import "time"
+
+// FloatSum would be flagged inside a determinism-critical package.
+func FloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Stamp would be flagged inside a determinism-critical package.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

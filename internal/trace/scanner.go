@@ -614,14 +614,21 @@ func (tw *TextWriter) SetDevice(ue cp.UEID, d cp.DeviceType) error {
 		return err
 	}
 	tw.devSet[ue] = d
+	_, err := tw.bw.Write(tw.formatDevice(ue, d))
+	return err
+}
+
+// formatDevice renders one U line into the reused line buffer.
+//
+//cplint:hotpath strconv.Append* into the reused buffer, no fmt, no fresh slices
+func (tw *TextWriter) formatDevice(ue cp.UEID, d cp.DeviceType) []byte {
 	b := append(tw.line[:0], 'U', ' ')
 	b = strconv.AppendUint(b, uint64(ue), 10)
 	b = append(b, ' ')
 	b = append(b, d.String()...)
 	b = append(b, '\n')
 	tw.line = b
-	_, err := tw.bw.Write(b)
-	return err
+	return b
 }
 
 // Write appends one event line.
@@ -640,6 +647,15 @@ func (tw *TextWriter) Write(e Event) error {
 	}
 	tw.seenEvent = true
 	tw.last, tw.hasLast = e, true
+	_, err := tw.bw.Write(tw.formatEvent(e))
+	return err
+}
+
+// formatEvent renders one E line into the reused line buffer — the
+// per-event formatting on the streamed-write path.
+//
+//cplint:hotpath runs once per written event; strconv.Append* into the reused buffer
+func (tw *TextWriter) formatEvent(e Event) []byte {
 	b := append(tw.line[:0], 'E', ' ')
 	b = strconv.AppendInt(b, int64(e.T), 10)
 	b = append(b, ' ')
@@ -648,8 +664,7 @@ func (tw *TextWriter) Write(e Event) error {
 	b = append(b, e.Type.String()...)
 	b = append(b, '\n')
 	tw.line = b
-	_, err := tw.bw.Write(b)
-	return err
+	return b
 }
 
 // Close flushes the buffer; it does not close the underlying writer.

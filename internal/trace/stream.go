@@ -164,20 +164,6 @@ func MergeScan(fn func(Event) error, its []EventIterator) error {
 		return nil
 	}
 	dead := make([]bool, k)
-	// wins beats a when leaf b's pending event orders before leaf a's;
-	// exhausted leaves always lose so the tree drains without shrinking.
-	wins := func(a, b int32) bool {
-		if dead[a] || dead[b] {
-			return !dead[a] && dead[b]
-		}
-		if evs[a].Before(evs[b]) {
-			return true
-		}
-		if evs[b].Before(evs[a]) {
-			return false
-		}
-		return a < b
-	}
 	// Complete-tree embedding: internal nodes 1..k-1, leaf i at node k+i;
 	// tree[n] is the loser at node n and tree[0] the overall winner.
 	tree := make([]int32, k)
@@ -187,7 +173,7 @@ func MergeScan(fn func(Event) error, its []EventIterator) error {
 	}
 	for n := k - 1; n >= 1; n-- {
 		a, b := win[2*n], win[2*n+1]
-		if wins(a, b) {
+		if leafBeats(a, b, evs, dead) {
 			win[n], tree[n] = a, b
 		} else {
 			win[n], tree[n] = b, a
@@ -208,14 +194,39 @@ func MergeScan(fn func(Event) error, its []EventIterator) error {
 				break
 			}
 		}
-		// Replay the path from leaf w to the root: whoever loses parks at
-		// the node, the winner plays on.
-		for n := (int(w) + k) / 2; n > 0; n /= 2 {
-			if wins(tree[n], w) {
-				w, tree[n] = tree[n], w
-			}
-		}
-		tree[0] = w
+		tree[0] = sift(w, k, tree, evs, dead)
 	}
 	return nil
+}
+
+// leafBeats reports whether leaf a's pending event orders before leaf
+// b's; exhausted leaves always lose so the tree drains without
+// shrinking, and ties break toward the lower iterator index.
+//
+//cplint:hotpath ⌈log₂k⌉ calls per merged event, inlined into the sift
+func leafBeats(a, b int32, evs []Event, dead []bool) bool {
+	if dead[a] || dead[b] {
+		return !dead[a] && dead[b]
+	}
+	if evs[a].Before(evs[b]) {
+		return true
+	}
+	if evs[b].Before(evs[a]) {
+		return false
+	}
+	return a < b
+}
+
+// sift replays the path from leaf w to the root after the leaf's
+// pending event changed: whoever loses parks at the node, the winner
+// plays on. It returns the new overall winner.
+//
+//cplint:hotpath the loser-tree sift: runs once per merged event, index writes only
+func sift(w int32, k int, tree []int32, evs []Event, dead []bool) int32 {
+	for n := (int(w) + k) / 2; n > 0; n /= 2 {
+		if leafBeats(tree[n], w, evs, dead) {
+			w, tree[n] = tree[n], w
+		}
+	}
+	return w
 }

@@ -126,12 +126,11 @@ func (tr *Trace) UEs() []cp.UEID {
 // UEsOfType returns the UE ids of the given device type in ascending order.
 func (tr *Trace) UEsOfType(d cp.DeviceType) []cp.UEID {
 	var ids []cp.UEID
-	for ue, dt := range tr.Device {
-		if dt == d {
+	for _, ue := range tr.UEs() {
+		if tr.Device[ue] == d {
 			ids = append(ids, ue)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
@@ -146,6 +145,9 @@ func (tr *Trace) PerUE() map[cp.UEID][]Event {
 	for _, e := range tr.Events {
 		out[e.UE] = append(out[e.UE], e)
 	}
+	// Each key's slice is sorted in place independently of every other
+	// key, and the write is indexed by the iteration key.
+	//cplint:ordered-ok per-key in-place sort; no cross-key state
 	for ue, evs := range out {
 		sort.Slice(evs, func(i, j int) bool { return evs[i].Before(evs[j]) })
 		out[ue] = evs
@@ -224,8 +226,10 @@ func (tr *Trace) CountByType() [cp.NumEventTypes]int {
 func Merge(traces ...*Trace) (*Trace, error) {
 	out := New()
 	for _, tr := range traces {
-		for ue, dt := range tr.Device {
-			if err := out.SetDevice(ue, dt); err != nil {
+		// Ascending UE order so a registration conflict always blames
+		// the same UE no matter how the map iterates.
+		for _, ue := range tr.UEs() {
+			if err := out.SetDevice(ue, tr.Device[ue]); err != nil {
 				return nil, err
 			}
 		}

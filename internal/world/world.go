@@ -242,6 +242,7 @@ type ueSim struct {
 	followWait float64
 }
 
+//cplint:hotpath appends into the reused per-UE queue
 func (u *ueSim) emit(tSec float64, e cp.EventType) {
 	t := cp.MillisFromSeconds(tSec)
 	if t >= u.end {
@@ -260,6 +261,8 @@ func (u *ueSim) emit(tSec float64, e cp.EventType) {
 }
 
 // Next returns the UE's next event, or ok=false when the window is done.
+//
+//cplint:hotpath simulator steady state; TestUESimSteadyStateAllocs gates it at exactly 0 allocs
 func (u *ueSim) Next() (trace.Event, bool) {
 	for {
 		if u.qhead < len(u.queue) {
@@ -300,6 +303,8 @@ func (u *ueSim) init() {
 
 // step advances the simulation by one decision, queueing the resulting
 // event(s) or marking the UE done.
+//
+//cplint:hotpath the simulator step: runs once per behavioral decision
 func (u *ueSim) step() {
 	r := u.rng
 	endSec := u.end.Seconds()

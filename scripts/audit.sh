@@ -1,0 +1,43 @@
+#!/bin/sh
+# Third-party static audits at pinned versions. Complements cplint
+# (which owns the repo-specific invariants) with general-purpose
+# checks: staticcheck for bug patterns, govulncheck for known CVEs in
+# the dependency graph.
+#
+# The build container has no module proxy, so when a tool is neither on
+# PATH nor installable, that audit is skipped with a warning instead of
+# failing the build; CI runs with network and installs both.
+set -eu
+
+STATICCHECK_VERSION=2025.1.1
+GOVULNCHECK_VERSION=v1.1.4
+
+have_or_install() {
+	tool=$1
+	mod=$2
+	if command -v "$tool" >/dev/null 2>&1; then
+		return 0
+	fi
+	echo "audit: $tool not found, trying go install $mod" >&2
+	if GOFLAGS= go install "$mod" >/dev/null 2>&1 &&
+		command -v "$tool" >/dev/null 2>&1; then
+		return 0
+	fi
+	echo "audit: WARNING: $tool unavailable (offline?); skipping" >&2
+	return 1
+}
+
+status=0
+
+if have_or_install staticcheck "honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION"; then
+	# staticcheck.conf at the repo root scopes the checks; testdata
+	# fixture trees are not packages of this module, so `./...` already
+	# excludes them.
+	staticcheck ./... || status=1
+fi
+
+if have_or_install govulncheck "golang.org/x/vuln/cmd/govulncheck@$GOVULNCHECK_VERSION"; then
+	govulncheck ./... || status=1
+fi
+
+exit $status
