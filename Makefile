@@ -8,7 +8,7 @@ GO ?= go
 
 RACE_PKGS = ./internal/par/ ./internal/trace/ ./internal/core/ ./internal/world/ ./internal/eval/ ./internal/experiments/
 
-.PHONY: check fmt vet build lint test race allocs audit bench experiments
+.PHONY: check fmt vet build lint fix test race allocs audit bench experiments
 
 check: fmt vet build lint test race allocs
 
@@ -22,18 +22,28 @@ vet:
 build:
 	$(GO) build ./...
 
-# The repo's own analyzers: determinism (detmap, detsource), hot-path
-# allocation (hotalloc), and par-pool write disjointness (parshare).
+# The repo's own analyzers: determinism (detmap, detsource), enum
+# coverage (exhaustive), float-fold ordering (floatfold), model
+# immutability (frozen), hot-path allocation (hotalloc), and par-pool
+# write disjointness (parshare).
 lint:
 	$(GO) run ./cmd/cplint ./...
+
+# Apply every suggested fix (gofmt-clean, idempotent), then report what
+# still needs a human.
+fix:
+	$(GO) run ./cmd/cplint -fix ./...
 
 test:
 	$(GO) test ./...
 
 # The fitting, generation, simulation, and pass-rate pipelines all fan
-# out over worker pools; any change to them must stay race-clean.
+# out over worker pools; any change to them must stay race-clean. The
+# lint loader/analyzer fan-out is covered in -short mode (the full
+# fixture matrix is slow under the race detector).
 race:
 	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -short ./internal/lint/
 
 # The compiled generator and the world simulator must stay
 # zero-allocation in their steady-state step (the race build disables

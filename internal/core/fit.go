@@ -363,8 +363,9 @@ func macroNext(e cp.EventType) cp.UEState {
 		return cp.StateDeregistered
 	case cp.S1ConnRelease:
 		return cp.StateIdle
+	default: // Category-2 (HO, TAU): no macro transition to give
+		panic("core: macroNext of Category-2 event")
 	}
-	panic("core: macroNext of Category-2 event")
 }
 
 // hasSubStructure reports whether the machine has any bottom-level edges.
@@ -730,6 +731,7 @@ func featuresAt(d *ueData, h, days int) cluster.Features {
 			conn = append(conn, s.Soj)
 		case cp.StateIdle:
 			idle = append(idle, s.Soj)
+		default: // DEREGISTERED sojourns are not clustering features (§5.3)
 		}
 	}
 	return cluster.Features{

@@ -186,6 +186,7 @@ func (f *featureSink) countEvent(h int, e cp.EventType) {
 		f.srvReq[h]++
 	case cp.S1ConnRelease:
 		f.s1Rel[h]++
+	default: // only SRV_REQ and S1_CONN_REL counts are clustering features (§5.3)
 	}
 }
 
@@ -198,6 +199,7 @@ func (f *featureSink) top(s topSample) {
 		f.conn[s.Hour] = append(f.conn[s.Hour], s.Soj)
 	case cp.StateIdle:
 		f.idle[s.Hour] = append(f.idle[s.Hour], s.Soj)
+	default: // DEREGISTERED sojourns are not clustering features (§5.3)
 	}
 }
 

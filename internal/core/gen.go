@@ -660,6 +660,7 @@ func topNext(s cp.UEState, e cp.EventType) (cp.UEState, bool) {
 		if s == cp.StateConnected {
 			return cp.StateIdle, true
 		}
+	default: // Category-2 (HO, TAU): macro state never moves
 	}
 	return s, false
 }

@@ -74,8 +74,9 @@ func breakdownKey(e cp.EventType, s cp.UEState) string {
 			return "TAU (IDLE)"
 		}
 		return "TAU (CONN.)"
+	default: // only HO and TAU split by macro state in Tables 4 and 11
+		return e.String()
 	}
-	return e.String()
 }
 
 // BreakdownDiff returns synthesized-minus-real share differences per row

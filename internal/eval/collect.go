@@ -148,6 +148,7 @@ func (c *ueCollector) step(ev trace.Event) {
 
 	if sm.Category1(ev.Type) {
 		var next cp.UEState
+		//cplint:partial-ok guarded by sm.Category1: only the four Category-1 events reach this switch
 		switch ev.Type {
 		case cp.Attach, cp.ServiceRequest:
 			next = cp.StateConnected

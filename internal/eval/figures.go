@@ -38,6 +38,7 @@ func PointProcess(tr *trace.Trace, ues map[cp.UEID]bool, q Quantity) []float64 {
 					continue
 				}
 				var next cp.UEState
+				//cplint:partial-ok guarded by sm.Category1: only the four Category-1 events reach this switch
 				switch ev.Type {
 				case cp.Attach, cp.ServiceRequest:
 					next = cp.StateConnected

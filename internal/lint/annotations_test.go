@@ -77,6 +77,8 @@ func TestDirectiveHygiene(t *testing.T) {
 		{19, "not attached to a range-over-map statement"},
 		{26, "not attached to a function declaration"},
 		{31, "unknown directive //cplint:frobnicate"},
+		{12, "//cplint:partial-ok needs a reason"},
+		{20, "not attached to a partially-covered enum switch, an order-sensitive float fold, or a frozen-model write"},
 	}
 	if len(diags) != len(want) {
 		for _, d := range diags {

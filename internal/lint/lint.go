@@ -6,6 +6,8 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+
+	"cptraffic/internal/par"
 )
 
 // An Analyzer is one static check. The shape mirrors
@@ -35,11 +37,46 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportFixf records a diagnostic at pos carrying one suggested fix.
+func (p *Pass) ReportFixf(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    []SuggestedFix{fix},
+	})
+}
+
+// Edit builds a TextEdit replacing [pos, end) with new text. pos == end
+// is a pure insertion.
+func (p *Pass) Edit(pos, end token.Pos, new string) TextEdit {
+	return TextEdit{Pos: p.Fset.Position(pos), End: p.Fset.Position(end), New: new}
+}
+
+// A TextEdit replaces the source range [Pos.Offset, End.Offset) of
+// Pos.Filename with New. Positions carry resolved offsets so fixes can
+// be applied without re-parsing.
+type TextEdit struct {
+	Pos token.Position `json:"pos"`
+	End token.Position `json:"end"`
+	New string         `json:"new"`
+}
+
+// A SuggestedFix is one self-contained, semantics-preserving rewrite
+// that resolves a diagnostic. Edits are within a single file.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
 // A Diagnostic is one finding, addressed by resolved position.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Fixes holds machine-applicable rewrites (applied by cplint -fix);
+	// empty when the finding needs a human restructure.
+	Fixes []SuggestedFix
 }
 
 func (d Diagnostic) String() string {
@@ -64,12 +101,18 @@ var DetPackages = []string{
 	"internal/report",
 }
 
-// inDetPackage reports whether path is one of the determinism-critical
-// packages (by whole-segment suffix match, so fixture paths like
+// pathHasSuffix reports whether path equals suffix or ends in
+// "/"+suffix (whole-segment match, so fixture paths like
 // "cptraffic/internal/core" under testdata qualify too).
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// inDetPackage reports whether path is one of the determinism-critical
+// packages.
 func inDetPackage(path string) bool {
 	for _, p := range DetPackages {
-		if path == p || strings.HasSuffix(path, "/"+p) {
+		if pathHasSuffix(path, p) {
 			return true
 		}
 	}
@@ -78,18 +121,29 @@ func inDetPackage(path string) bool {
 
 // All returns the full cplint suite in its canonical order.
 func All() []*Analyzer {
-	return []*Analyzer{DetMap, DetSource, HotAlloc, ParShare}
+	return []*Analyzer{DetMap, DetSource, Exhaustive, FloatFold, Frozen, HotAlloc, ParShare}
 }
 
 // Analyze runs the given analyzers over the given packages and returns
-// the merged diagnostics sorted by position. Directive hygiene
-// (unknown //cplint: names, missing reasons, annotations attached to
-// nothing) is validated here, after every analyzer has had the chance
-// to claim its directives.
+// the merged diagnostics sorted by position. Packages are analyzed in
+// parallel (one worker per package, over the repo's own par pool); the
+// final sort makes the output bytes worker-count-independent.
+// Directive hygiene (unknown //cplint: names, missing reasons,
+// annotations attached to nothing) is validated per package, after
+// every analyzer has had the chance to claim its directives.
 func Analyze(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	collect := func(d Diagnostic) { diags = append(diags, d) }
-	for _, pkg := range pkgs {
+	return AnalyzeWorkers(pkgs, analyzers, 0)
+}
+
+// AnalyzeWorkers is Analyze with an explicit worker count (<= 0 means
+// GOMAXPROCS). The diagnostics are identical for any worker count: a
+// package's directives are only ever touched by the one worker that
+// owns it, and the merged result is sorted before returning.
+func AnalyzeWorkers(pkgs []*Package, analyzers []*Analyzer, workers int) []Diagnostic {
+	perPkg := make([][]Diagnostic, len(pkgs))
+	par.For(len(pkgs), workers, func(i int) {
+		pkg := pkgs[i]
+		collect := func(d Diagnostic) { perPkg[i] = append(perPkg[i], d) }
 		for _, a := range analyzers {
 			pass := &Pass{Analyzer: a, Fset: fsetOf(pkg), Pkg: pkg, report: collect}
 			if err := a.Run(pass); err != nil {
@@ -101,6 +155,10 @@ func Analyze(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 		validateDirectives(pkg, analyzers, collect)
+	})
+	var diags []Diagnostic
+	for _, ds := range perPkg {
+		diags = append(diags, ds...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -134,6 +192,7 @@ func fsetOf(pkg *Package) *token.FileSet {
 const (
 	DirOrderedOK = "ordered-ok" // on a range-over-map: order-insensitivity is argued by the reason
 	DirHotPath   = "hotpath"    // on a func decl: the body must not allocate
+	DirPartialOK = "partial-ok" // on an enum switch, float fold, or model write: partial behavior is argued by the reason
 )
 
 // A Directive is one parsed //cplint:<name> <reason> comment.
@@ -215,13 +274,31 @@ func claimDoc(pkg *Package, name string, doc *ast.CommentGroup, declPos token.Po
 	return nil
 }
 
-// directiveOwner maps each directive name to the analyzer that claims
-// it; hygiene for a name is only enforced when its owner ran, so a
-// single-analyzer fixture test is not polluted by the other's
-// directives.
-var directiveOwner = map[string]string{
-	DirOrderedOK: "detmap",
-	DirHotPath:   "hotalloc",
+// directiveOwners maps each directive name to the analyzers that can
+// claim it. Reason hygiene for a name is enforced when any owner ran;
+// the attached-to-nothing check only when every owner ran (a
+// single-analyzer fixture test must not call another analyzer's
+// legitimately placed annotation a mistake).
+var directiveOwners = map[string][]string{
+	DirOrderedOK: {"detmap", "floatfold"},
+	DirHotPath:   {"hotalloc"},
+	DirPartialOK: {"exhaustive", "floatfold", "frozen"},
+}
+
+// reasonRequired lists the directives whose reason is mandatory: the
+// annotation suppresses a finding, so the justification must travel
+// with it.
+var reasonRequired = map[string]bool{
+	DirOrderedOK: true,
+	DirPartialOK: true,
+}
+
+// attachWant describes, per directive, what kind of node the
+// annotation must be attached to.
+var attachWant = map[string]string{
+	DirOrderedOK: "a range-over-map statement",
+	DirHotPath:   "a function declaration",
+	DirPartialOK: "a partially-covered enum switch, an order-sensitive float fold, or a frozen-model write",
 }
 
 func validateDirectives(pkg *Package, ran []*Analyzer, report func(Diagnostic)) {
@@ -231,38 +308,40 @@ func validateDirectives(pkg *Package, ran []*Analyzer, report func(Diagnostic)) 
 	}
 	pos := func(d *Directive) token.Position { return pkg.fset.Position(d.Pos) }
 	for _, d := range pkg.directives {
-		owner, known := directiveOwner[d.Name]
+		owners, known := directiveOwners[d.Name]
 		if !known {
 			report(Diagnostic{
 				Analyzer: "cplint",
 				Pos:      pos(d),
-				Message:  fmt.Sprintf("unknown directive //cplint:%s (known: %s, %s)", d.Name, DirOrderedOK, DirHotPath),
+				Message: fmt.Sprintf("unknown directive //cplint:%s (known: %s, %s, %s)",
+					d.Name, DirHotPath, DirOrderedOK, DirPartialOK),
 			})
 			continue
 		}
-		if !names[owner] {
-			continue
-		}
-		if d.Name == DirOrderedOK && d.Reason == "" {
-			report(Diagnostic{
-				Analyzer: owner,
-				Pos:      pos(d),
-				Message:  "//cplint:ordered-ok needs a reason: //cplint:ordered-ok <why this loop is order-insensitive>",
-			})
-			continue
-		}
-		if !d.used {
-			var want string
-			switch d.Name {
-			case DirOrderedOK:
-				want = "a range-over-map statement"
-			case DirHotPath:
-				want = "a function declaration"
+		anyRan, allRan := false, true
+		for _, o := range owners {
+			if names[o] {
+				anyRan = true
+			} else {
+				allRan = false
 			}
+		}
+		if !anyRan {
+			continue
+		}
+		if reasonRequired[d.Name] && d.Reason == "" {
 			report(Diagnostic{
-				Analyzer: owner,
+				Analyzer: owners[0],
 				Pos:      pos(d),
-				Message:  fmt.Sprintf("//cplint:%s is not attached to %s", d.Name, want),
+				Message:  fmt.Sprintf("//cplint:%s needs a reason: //cplint:%s <why this is justified>", d.Name, d.Name),
+			})
+			continue
+		}
+		if !d.used && allRan {
+			report(Diagnostic{
+				Analyzer: owners[0],
+				Pos:      pos(d),
+				Message:  fmt.Sprintf("//cplint:%s is not attached to %s", d.Name, attachWant[d.Name]),
 			})
 		}
 	}

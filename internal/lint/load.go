@@ -1,8 +1,9 @@
 // Package lint implements the cplint static-analysis suite: a small,
 // dependency-free clone of the golang.org/x/tools/go/analysis driver
-// plus the four repo-specific analyzers (detmap, detsource, hotalloc,
-// parshare) that turn this repo's determinism, hot-path, and
-// concurrency invariants into build errors.
+// plus the seven repo-specific analyzers (detmap, detsource,
+// exhaustive, floatfold, frozen, hotalloc, parshare) that turn this
+// repo's determinism, state-machine, hot-path, and concurrency
+// invariants into build errors.
 //
 // The framework mirrors the go/analysis API (Analyzer, Pass, Reportf)
 // so the analyzers would port to the upstream driver verbatim, but it
@@ -27,6 +28,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+
+	"cptraffic/internal/par"
 )
 
 // Package is one type-checked package ready for analysis.
@@ -64,13 +68,30 @@ type Loader struct {
 	// fixture trees from testdata/src without touching the module.
 	Fixtures map[string]string
 
+	// Workers bounds the type-check fan-out of LoadPaths: distinct
+	// packages type-check on their own goroutines (<= 0 means
+	// GOMAXPROCS). Any one package is still checked exactly once — a
+	// second demand for an in-flight package blocks until the first
+	// completes — so the worker count can never change the result.
+	Workers int
+
+	mu      sync.Mutex // guards fset/meta/entries creation
 	fset    *token.FileSet
 	meta    map[string]*listPkg
-	checked map[string]*Package
+	entries map[string]*checkEntry
+}
+
+// checkEntry is the once-per-import-path type-check slot.
+type checkEntry struct {
+	once sync.Once
+	pkg  *Package
+	err  error
 }
 
 // Fset returns the loader's shared file set, creating it on first use.
 func (l *Loader) Fset() *token.FileSet {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.fset == nil {
 		l.fset = token.NewFileSet()
 	}
@@ -118,24 +139,29 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 }
 
 // LoadPaths type-checks exactly the named import paths (fixture paths
-// or module/stdlib paths) and returns them in the given order.
+// or module/stdlib paths) and returns them in the given order. The
+// per-path checks fan out over Workers goroutines; errors surface in
+// path order, so the result is worker-count-independent.
 func (l *Loader) LoadPaths(paths ...string) ([]*Package, error) {
-	pkgs := make([]*Package, 0, len(paths))
-	for _, p := range paths {
-		pkg, err := l.check(p)
-		if err != nil {
-			return nil, err
+	pkgs := make([]*Package, len(paths))
+	errs := make([]error, len(paths))
+	par.For(len(paths), l.Workers, func(i int) {
+		pkgs[i], errs[i] = l.check(paths[i])
+	})
+	for i, p := range paths {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		if len(pkg.typeErrs) > 0 {
-			return nil, fmt.Errorf("type-checking %s: %v (and %d more)", p, pkg.typeErrs[0], len(pkg.typeErrs)-1)
+		if n := len(pkgs[i].typeErrs); n > 0 {
+			return nil, fmt.Errorf("type-checking %s: %v (and %d more)", p, pkgs[i].typeErrs[0], n-1)
 		}
-		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
 }
 
 // list runs `go list` and returns matched import paths; with deps it
-// also fills the metadata cache for the whole dependency closure.
+// also fills the metadata cache for the whole dependency closure. The
+// subprocess and the cache write are serialized under the loader lock.
 func (l *Loader) list(deps bool, patterns ...string) ([]string, error) {
 	args := []string{"list", "-e", "-json=ImportPath,Dir,GoFiles,Standard"}
 	if deps {
@@ -151,6 +177,8 @@ func (l *Loader) list(deps bool, patterns ...string) ([]string, error) {
 	if err != nil {
 		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.meta == nil {
 		l.meta = make(map[string]*listPkg)
 	}
@@ -179,13 +207,18 @@ func (l *Loader) list(deps bool, patterns ...string) ([]string, error) {
 // metaFor returns go list metadata for path, querying the go command
 // on a cache miss (this pulls in the path's own dependency closure).
 func (l *Loader) metaFor(path string) (*listPkg, error) {
-	if m, ok := l.meta[path]; ok {
+	l.mu.Lock()
+	m, ok := l.meta[path]
+	l.mu.Unlock()
+	if ok {
 		return m, nil
 	}
 	if _, err := l.list(true, path); err != nil {
 		return nil, err
 	}
-	m, ok := l.meta[path]
+	l.mu.Lock()
+	m, ok = l.meta[path]
+	l.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("package %q not found by go list", path)
 	}
@@ -193,15 +226,29 @@ func (l *Loader) metaFor(path string) (*listPkg, error) {
 }
 
 // check parses and type-checks one package (and, recursively, its
-// imports), caching the result.
+// imports), caching the result. Concurrent demands for the same path
+// share one check: the entry's once runs the work, later callers block
+// on it. The import graph is acyclic, so the blocking cannot deadlock.
 func (l *Loader) check(path string) (*Package, error) {
-	if l.checked == nil {
-		l.checked = make(map[string]*Package)
+	l.mu.Lock()
+	if l.entries == nil {
+		l.entries = make(map[string]*checkEntry)
 	}
-	if pkg, ok := l.checked[path]; ok {
-		return pkg, nil
+	e, ok := l.entries[path]
+	if !ok {
+		e = new(checkEntry)
+		l.entries[path] = e
 	}
+	l.mu.Unlock()
+	e.once.Do(func() { e.pkg, e.err = l.doCheck(path) })
+	return e.pkg, e.err
+}
 
+// doCheck performs the actual parse + type-check of one package. Hard
+// type errors are accumulated on the package (surfaced by LoadPaths)
+// rather than failing the check, so diamond imports of a broken
+// package do not re-report it.
+func (l *Loader) doCheck(path string) (*Package, error) {
 	var dir string
 	var files []string
 	if fdir, ok := l.Fixtures[path]; ok {
@@ -223,6 +270,11 @@ func (l *Loader) check(path string) (*Package, error) {
 			return nil, err
 		}
 		dir, files = m.Dir, m.GoFiles
+	}
+	if len(files) == 0 {
+		// `go list -e` reports unresolvable patterns as pseudo-packages
+		// with no files; surface them as load errors, not clean packages.
+		return nil, fmt.Errorf("package %s has no Go files", path)
 	}
 
 	fset := l.Fset()
@@ -265,9 +317,6 @@ func (l *Loader) check(path string) (*Package, error) {
 	}
 	tpkg, err := conf.Check(path, fset, pkg.Files, pkg.Info)
 	pkg.Types = tpkg
-	// Cache before surfacing type errors so diamond imports do not
-	// re-check a broken package; hard errors are reported by LoadPaths.
-	l.checked[path] = pkg
 	if err != nil && len(pkg.typeErrs) == 0 {
 		return nil, fmt.Errorf("type-checking %s: %v", path, err)
 	}

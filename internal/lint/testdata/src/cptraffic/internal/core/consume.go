@@ -1,0 +1,49 @@
+package core
+
+// Rescale mutates a shared model in place: every write goes through
+// storage the compiled-model cache may already depend on.
+func Rescale(ms *ModelSet, f float64) {
+	ms.Machine = "rescaled" // want `write to ms.Machine mutates ModelSet state`
+	for _, d := range ms.Devices {
+		d.Weight *= f // want `write to d.Weight mutates DeviceModel state`
+	}
+	ms.Devices[0].Hours[0].Rate = f // want `mutates HourModel state`
+	ms.Weights["a"] = f             // want `mutates ModelSet state`
+}
+
+// CopyStruct mutates a value copy's scalar field: private storage.
+func CopyStruct(d DeviceModel) DeviceModel {
+	d.Weight = 0
+	return d
+}
+
+// CopySliceField writes through a value copy's slice field: the
+// backing array is still the shared model's.
+func CopySliceField(d DeviceModel) {
+	d.Hours[0].Rate = 0 // want `mutates HourModel state`
+}
+
+// Fresh builds and mutates its own model: construction, not mutation.
+func Fresh() *ModelSet {
+	ms := &ModelSet{Weights: map[string]float64{}}
+	ms.Machine = "LTE"
+	ms.Devices = append(ms.Devices, &DeviceModel{})
+	ms.Weights["a"] = 1
+	var d DeviceModel
+	d.Hours = make([]HourModel, 1)
+	d.Hours[0].Rate = 2
+	ms.Devices[0] = &d
+	return ms
+}
+
+// Rebind repoints a local variable: the model itself is untouched.
+func Rebind(ms *ModelSet) *ModelSet {
+	ms = Fit(1)
+	return ms
+}
+
+// Annotated mutates with a justification attached.
+func Annotated(ms *ModelSet) {
+	//cplint:partial-ok fixture: caller guarantees generation has not started
+	ms.Machine = "tuned"
+}

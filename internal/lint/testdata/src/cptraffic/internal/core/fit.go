@@ -1,0 +1,15 @@
+package core
+
+// Fit builds a model. fit.go is whitelisted: fitting mutates the model
+// it is constructing, before generation can have compiled it.
+func Fit(n int) *ModelSet {
+	ms := &ModelSet{Machine: "LTE", Weights: map[string]float64{}}
+	for i := 0; i < n; i++ {
+		d := &DeviceModel{}
+		d.Weight = float64(i)
+		d.Hours = append(d.Hours, HourModel{})
+		d.Hours[0].Rate = 1
+		ms.Devices = append(ms.Devices, d)
+	}
+	return ms
+}

@@ -1,0 +1,29 @@
+// Package core is the frozen fixture: a miniature of the real model
+// family. model.go and fit.go carry the whitelisted basenames — they
+// are the construction surface — while consume.go holds the writes the
+// analyzer must judge.
+package core
+
+// ModelSet is the root of the frozen family.
+type ModelSet struct {
+	Machine string
+	Devices []*DeviceModel
+	Weights map[string]float64
+}
+
+// DeviceModel is reachable from ModelSet through an exported field.
+type DeviceModel struct {
+	Weight float64
+	Hours  []HourModel
+}
+
+// HourModel is reachable through DeviceModel.
+type HourModel struct {
+	Rate float64
+}
+
+// Normalize mutates in place, but model.go is the construction
+// surface: the codec repairs what it decodes before anyone generates.
+func (ms *ModelSet) Normalize() {
+	ms.Machine = "LTE"
+}

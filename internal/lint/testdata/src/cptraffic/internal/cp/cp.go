@@ -1,0 +1,31 @@
+// Package cp is the enum fixture: a miniature of the real event and
+// state vocabularies, declared at the import path the exhaustive
+// analyzer treats as an enum home.
+package cp
+
+// EventType enumerates control-plane event kinds.
+type EventType uint8
+
+const (
+	Attach EventType = iota
+	Detach
+	ServiceRequest
+	Handover
+)
+
+// numEventTypes is untyped and must never count as an enum member.
+const numEventTypes = 4
+
+// UEState is the coarse per-UE state.
+type UEState uint8
+
+const (
+	StateDeregistered UEState = iota
+	StateConnected
+	StateIdle
+)
+
+// Alone has a single member: too small to be an enum worth checking.
+type Alone uint8
+
+const OnlyValue Alone = 0

@@ -1,0 +1,104 @@
+// Package ffold is the floatfold fixture: order-sensitive float
+// reductions in map ranges and par closures. The package sits outside
+// the determinism-critical list on purpose — floatfold runs
+// module-wide, unlike detmap.
+package ffold
+
+import "cptraffic/internal/par"
+
+// MapFold folds floats in map iteration order.
+func MapFold(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `sum \+= folds a float in map iteration order`
+	}
+	return sum
+}
+
+// Scale multiplies in map order: the same class.
+func Scale(m map[string]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v // want `p \*= folds a float in map iteration order`
+	}
+	return p
+}
+
+// KeyedFold accumulates into the slot owned by the iteration key.
+func KeyedFold(src, dst map[string]float64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// LocalFold accumulates into a variable declared inside the loop:
+// nothing crosses iterations.
+func LocalFold(m map[string][]float64, out map[string]float64) {
+	for k, vs := range m {
+		t := 0.0
+		for _, v := range vs {
+			t += v
+		}
+		out[k] = t
+	}
+}
+
+// IntFold is exact in any order.
+func IntFold(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// ParFold folds a float across workers in scheduling order.
+func ParFold(xs []float64) float64 {
+	var sum float64
+	par.For(len(xs), 4, func(i int) {
+		sum += xs[i] // want `sum \+= folds a float across par workers`
+	})
+	return sum
+}
+
+// ParSlots writes index-disjoint slots: deterministic under the pool's
+// unique-index contract.
+func ParSlots(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	par.For(len(xs), 4, func(i int) {
+		out[i] += xs[i] * 2
+	})
+	return out
+}
+
+// ParLocal folds into worker-private state.
+func ParLocal(xs []float64, out []float64) {
+	par.Do(4, func(w int) {
+		t := 0.0
+		for i := w; i < len(xs); i += 4 {
+			t += xs[i]
+		}
+		out[w] = t
+	})
+}
+
+// Annotated tolerates the drift, with the justification attached.
+func Annotated(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//cplint:partial-ok downstream rounds to whole counts, ulp drift cannot surface
+		sum += v
+	}
+	return sum
+}
+
+// Ordered sits inside a loop already annotated ordered-ok: the range
+// annotation asserts order-insensitivity for the whole body.
+func Ordered(m map[string]float64) float64 {
+	var sum float64
+	//cplint:ordered-ok fixture: the range annotation covers folds in its body
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,15 @@
+// Package fiveg mirrors the real 5G adapters: the whole package is the
+// sanctioned clone-then-mutate surface, so nothing here is flagged.
+package fiveg
+
+import "cptraffic/internal/core"
+
+// Adapt stands in for the real clone-then-mutate adapters; the package
+// whitelist makes its writes legal.
+func Adapt(ms *core.ModelSet) *core.ModelSet {
+	ms.Machine = "5G-SA"
+	for _, d := range ms.Devices {
+		d.Weight *= 0.5
+	}
+	return ms
+}

@@ -1,0 +1,29 @@
+// Package report is the cross-package frozen fixture: it imports the
+// model family and must treat it as read-only.
+package report
+
+import "cptraffic/internal/core"
+
+// Normalize mutates the model it was handed.
+func Normalize(ms *core.ModelSet) {
+	ms.Machine = "norm" // want `write to ms.Machine mutates ModelSet state`
+	for _, d := range ms.Devices {
+		d.Weight /= 2 // want `write to d.Weight mutates DeviceModel state`
+	}
+}
+
+// Build constructs a fresh model and may mutate it freely.
+func Build() *core.ModelSet {
+	ms := &core.ModelSet{Machine: "LTE"}
+	ms.Devices = append(ms.Devices, &core.DeviceModel{Weight: 1})
+	return ms
+}
+
+// Summarize only reads: never flagged.
+func Summarize(ms *core.ModelSet) float64 {
+	total := 0.0
+	for _, d := range ms.Devices {
+		total += d.Weight
+	}
+	return total
+}

@@ -1,15 +1,16 @@
 // Package util sits outside the determinism-critical package list:
-// detmap and detsource do not run here, so none of these (deliberately
-// order-sensitive) constructs are reported.
+// detmap and detsource do not run here, so the map range and the
+// wall-clock read are not reported. floatfold, by contrast, runs
+// module-wide — the float fold is flagged even out here.
 package util
 
 import "time"
 
-// FloatSum would be flagged inside a determinism-critical package.
+// FloatSum escapes detmap (not a gated package) but not floatfold.
 func FloatSum(m map[string]float64) float64 {
 	var sum float64
 	for _, v := range m {
-		sum += v
+		sum += v // want `sum \+= folds a float in map iteration order`
 	}
 	return sum
 }

@@ -1,6 +1,6 @@
-// Package core is the detmap fixture: it sits at a determinism-critical
+// Package world is the detmap fixture: it sits at a determinism-critical
 // import path, so every map range and maps.Keys call here is checked.
-package core
+package world
 
 import (
 	"maps"

@@ -17,8 +17,9 @@ func Category1(e cp.EventType) bool {
 	switch e {
 	case cp.Attach, cp.Detach, cp.ServiceRequest, cp.S1ConnRelease:
 		return true
+	default: // Category-2: HO, TAU
+		return false
 	}
-	return false
 }
 
 // MacroAfter returns the macro state a UE occupies right after a
@@ -31,8 +32,9 @@ func MacroAfter(e cp.EventType) cp.UEState {
 		return cp.StateDeregistered
 	case cp.S1ConnRelease:
 		return cp.StateIdle
+	default: // Category-2 (HO, TAU): no macro transition to give
+		panic("sm: MacroAfter of Category-2 event")
 	}
-	panic("sm: MacroAfter of Category-2 event")
 }
 
 // InferMacroInitial guesses the macro state a UE occupied before its
@@ -49,6 +51,7 @@ func InferMacroInitial(evs []trace.Event) cp.UEState {
 			return cp.StateIdle
 		case cp.S1ConnRelease, cp.Detach:
 			return cp.StateConnected
+		default: // Category-2 (HO, TAU) departs no particular macro state; keep scanning
 		}
 	}
 	for _, ev := range evs {
