@@ -8,9 +8,9 @@ GO ?= go
 
 RACE_PKGS = ./internal/par/ ./internal/trace/ ./internal/core/ ./internal/world/ ./internal/eval/ ./internal/experiments/
 
-.PHONY: check fmt vet build lint fix test race allocs audit bench experiments
+.PHONY: check fmt vet build lint fix test race allocs scenarios audit bench experiments
 
-check: fmt vet build lint test race allocs
+check: fmt vet build lint test race allocs scenarios
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -50,6 +50,12 @@ race:
 # these gates itself, so they need a non-race run).
 allocs:
 	$(GO) test -run 'SteadyStateAllocs' ./internal/core/ ./internal/world/
+
+# Smoke-run every starter scenario through stormsim at reduced scale:
+# validation, world simulation, storm replay, and the byte-identity
+# selftest (1 vs 8 workers) for each file in scenarios/.
+scenarios:
+	$(GO) run ./cmd/stormsim -selftest -scale 0.05 scenarios/*.json
 
 # Third-party audits (staticcheck + govulncheck) at pinned versions;
 # skipped with a warning when the tools are absent and cannot be

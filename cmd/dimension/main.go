@@ -8,6 +8,14 @@
 //
 //	dimension -i syn.trace -p99 0.05            # suggest capacities
 //	dimension -i syn.trace -rate 500            # evaluate a uniform rate
+//	dimension -scenario scenarios/stadium-event.json
+//
+// With -scenario the trace is simulated internally from a scenario/1
+// file (see SCENARIOS.md) with its SA share's TAU events filtered; the
+// scenario's explicit capacity block, when present, is evaluated,
+// otherwise capacities are suggested for the -p99 target. The fault
+// schedule is ignored here — dimension sizes the healthy core; replay
+// faults with cmd/stormsim.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 
 	"cptraffic/internal/mcn"
 	"cptraffic/internal/report"
+	"cptraffic/internal/scenario"
 	"cptraffic/internal/trace"
 )
 
@@ -25,29 +34,60 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dimension: ")
 	var (
-		in   = flag.String("i", "-", "input trace ('-' for stdin)")
-		p99  = flag.Float64("p99", 0.05, "target p99 queueing delay in seconds (suggest mode)")
-		rate = flag.Float64("rate", 0, "evaluate this uniform per-NF rate instead of suggesting")
+		in      = flag.String("i", "-", "input trace ('-' for stdin)")
+		p99     = flag.Float64("p99", 0.05, "target p99 queueing delay in seconds (suggest mode)")
+		rate    = flag.Float64("rate", 0, "evaluate this uniform per-NF rate instead of suggesting")
+		scnPath = flag.String("scenario", "", "simulate this scenario/1 file instead of reading a trace")
 	)
 	flag.Parse()
 
-	r := os.Stdin
-	if *in != "-" {
-		f, err := os.Open(*in)
+	var tr *trace.Trace
+	var scnCap *mcn.Capacity
+	if *scnPath != "" {
+		if *rate > 0 {
+			log.Fatal("-scenario conflicts with -rate; set a capacity block in the file")
+		}
+		s, err := scenario.Load(*scnPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		r = f
-	}
-	tr, err := trace.ReadAuto(r)
-	if err != nil {
-		log.Fatal(err)
+		tr, err = scenario.Simulate(s, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr = s.FilterSA(tr)
+		if s.Capacity != nil {
+			cfg, err := s.StormConfig()
+			if err != nil {
+				log.Fatal(err)
+			}
+			scnCap = &cfg.Capacity
+		}
+		fmt.Printf("Scenario %s: %d UEs, %d events\n\n", s.Name, tr.NumUEs(), tr.Len())
+	} else {
+		r := os.Stdin
+		if *in != "-" {
+			f, err := os.Open(*in)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			r = f
+		}
+		var err error
+		tr, err = trace.ReadAuto(r)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	tr.Sort()
 
 	var cap mcn.Capacity
-	if *rate > 0 {
+	var err error
+	if scnCap != nil {
+		cap = *scnCap
+		fmt.Printf("Evaluating the scenario's capacity block\n\n")
+	} else if *rate > 0 {
 		for n := range cap {
 			cap[n] = *rate
 		}

@@ -1,0 +1,155 @@
+// Command stormsim runs signaling-storm scenarios end to end: it loads
+// each scenario/1 file, simulates its population through the world
+// simulator, replays the trace through the fault-bearing NF queueing
+// model, and prints one summary row per scenario — how the storm
+// propagated as queue depth, drops, retries, and attach latency.
+//
+// Usage:
+//
+//	stormsim scenarios/stadium-event.json
+//	stormsim -scale 0.05 -selftest scenarios/*.json     # the CI smoke run
+//	stormsim -o report.json scenarios/highway-rush-hour.json
+//	stormsim -trace storm.trace scenarios/regional-outage-recovery.json
+//
+// With -selftest every scenario is generated twice, at one worker and
+// at eight, and stormsim exits non-zero unless traces and reports are
+// byte-identical — the suite's determinism contract, checked in CI.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cptraffic/internal/mcn"
+	"cptraffic/internal/report"
+	"cptraffic/internal/scenario"
+	"cptraffic/internal/trace"
+)
+
+// run simulates one scaled scenario at the given worker count and
+// returns the trace's binary encoding, the report's JSON encoding, and
+// the report itself.
+func run(s *scenario.Scenario, workers int) (traceBytes, repBytes []byte, rep *mcn.StormReport, err error) {
+	tr, err := scenario.Simulate(s, workers)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var tb bytes.Buffer
+	if err := trace.WriteBinaryTrace(&tb, tr); err != nil {
+		return nil, nil, nil, err
+	}
+	rep, err = scenario.Storm(s, tr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var rb bytes.Buffer
+	if err := rep.WriteJSON(&rb); err != nil {
+		return nil, nil, nil, err
+	}
+	return tb.Bytes(), rb.Bytes(), rep, nil
+}
+
+// peaks digests a report into the summary-row aggregates.
+func peaks(rep *mcn.StormReport) (drops, retries, peakQueue int, peakAttach float64) {
+	for n := range rep.PerNF {
+		p := &rep.PerNF[n]
+		drops += p.Drops
+		retries += p.Retries
+		if p.PeakQueue > peakQueue {
+			peakQueue = p.PeakQueue
+		}
+	}
+	for _, m := range rep.Attach.MaxSec {
+		if m > peakAttach {
+			peakAttach = m
+		}
+	}
+	return drops, retries, peakQueue, peakAttach
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stormsim: ")
+	var (
+		scale    = flag.Float64("scale", 1, "population scale factor (explicit capacities scale with it)")
+		workers  = flag.Int("workers", 0, "simulation worker bound (0 = GOMAXPROCS; never changes output)")
+		selftest = flag.Bool("selftest", false, "run each scenario at 1 and 8 workers and require byte-identical output")
+		repOut   = flag.String("o", "", "write the storm report JSON here (single scenario only)")
+		trOut    = flag.String("trace", "", "write the generated binary trace here (single scenario only)")
+	)
+	flag.Parse()
+	files := flag.Args()
+	if len(files) == 0 {
+		log.Fatal("usage: stormsim [flags] scenario.json...")
+	}
+	if *scale <= 0 {
+		log.Fatal("-scale must be positive")
+	}
+	if (*repOut != "" || *trOut != "") && len(files) != 1 {
+		log.Fatal("-o and -trace take exactly one scenario")
+	}
+
+	tbl := report.Table{Header: []string{
+		"Scenario", "UEs", "Events", "Injected", "Drops", "Retries", "Peak queue", "Peak attach",
+	}}
+	failed := false
+	for _, path := range files {
+		s, err := scenario.Load(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s = s.Scaled(*scale)
+		tb, rb, rep, err := run(s, *workers)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		if *selftest {
+			tb1, rb1, _, err := run(s, 1)
+			if err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+			tb8, rb8, _, err := run(s, 8)
+			if err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+			if !bytes.Equal(tb1, tb8) || !bytes.Equal(rb1, rb8) {
+				fmt.Fprintf(os.Stderr, "stormsim: %s: FAIL output depends on worker count\n", path)
+				failed = true
+			} else if !bytes.Equal(tb, tb1) || !bytes.Equal(rb, rb1) {
+				fmt.Fprintf(os.Stderr, "stormsim: %s: FAIL default workers diverge from pinned workers\n", path)
+				failed = true
+			}
+		}
+		if *repOut != "" {
+			if err := os.WriteFile(*repOut, rb, 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *trOut != "" {
+			if err := os.WriteFile(*trOut, tb, 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		drops, retries, peakQ, peakA := peaks(rep)
+		tbl.AddRow(rep.Scenario,
+			fmt.Sprintf("%d", s.Population.UEs),
+			fmt.Sprintf("%d", rep.Events),
+			fmt.Sprintf("%d", rep.InjectedAttaches),
+			fmt.Sprintf("%d", drops),
+			fmt.Sprintf("%d", retries),
+			fmt.Sprintf("%d", peakQ),
+			fmt.Sprintf("%.2f s", peakA))
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if failed {
+		os.Exit(1)
+	}
+	if *selftest {
+		fmt.Println("\nselftest: all scenarios byte-identical across worker counts")
+	}
+}

@@ -7,6 +7,15 @@
 //	traffgen -model model.json -ues 380000 -start 18 -hours 1 -o syn.trace
 //	traffgen -model model.json -nextg sa -ues 10000 -hours 24 -o sa.trace
 //	traffgen -model model.json -ues 5000000 -hours 1 -stream -binary -o big.trace
+//	traffgen -model model.json -scenario scenarios/iot-firmware-wave.json -o wave.trace
+//
+// With -scenario the population, window, seed, and 4G/5G split come
+// from a scenario/1 file (see SCENARIOS.md): a sa_share of s generates
+// round(s*N) UEs from the SA-adapted model (seeded independently, ids
+// above the LTE block) and merges them with the LTE population. The
+// scenario's mobility/activity scales and device mix apply only to the
+// behavioral world simulator and are ignored here — the fitted model
+// carries its own rates and mix.
 //
 // With -stream the per-UE generators are merged and written
 // incrementally — peak memory is O(UEs), not the trace size — producing
@@ -18,12 +27,14 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"os"
 
 	"cptraffic/internal/core"
 	"cptraffic/internal/cp"
 	"cptraffic/internal/fiveg"
 	"cptraffic/internal/prof"
+	"cptraffic/internal/scenario"
 	"cptraffic/internal/trace"
 )
 
@@ -38,6 +49,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "concurrent per-UE generators (0 = GOMAXPROCS)")
 		nextg     = flag.String("nextg", "", "adapt to NextG first: '', 'nsa' or 'sa'")
+		scnPath   = flag.String("scenario", "", "take population/window/seed/sa_share from this scenario/1 file")
 		hoFactor  = flag.Float64("hofactor", 0, "handover scaling override (0 = paper default)")
 		out       = flag.String("o", "-", "output trace ('-' for stdout)")
 		binOut    = flag.Bool("binary", false, "write the compact binary trace format")
@@ -67,6 +79,46 @@ func main() {
 	f.Close()
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *scnPath != "" {
+		if *nextg != "" {
+			log.Fatal("-scenario conflicts with -nextg; set sa_share in the file")
+		}
+		if *stream {
+			log.Fatal("-scenario does not support -stream (the SA merge is in-memory)")
+		}
+		s, err := scenario.Load(*scnPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := generateScenario(ms, s, *workers, *hoFactor)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := os.Stdout
+		if *out != "-" {
+			file, err := os.Create(*out)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer func() {
+				if err := file.Close(); err != nil {
+					log.Fatal(err)
+				}
+			}()
+			w = file
+		}
+		writeFn := trace.WriteTrace
+		if *binOut {
+			writeFn = trace.WriteBinaryTrace
+		}
+		if err := writeFn(w, tr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "traffgen: scenario=%s sa_share=%.2f -> %d UEs, %d events\n",
+			s.Name, s.SAShare, tr.NumUEs(), tr.Len())
+		return
 	}
 
 	switch *nextg {
@@ -140,6 +192,72 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "traffgen: method=%s machine=%s -> %d UEs, %d events\n",
 		ms.Method, ms.MachineName, tr.NumUEs(), tr.Len())
+}
+
+// generateScenario synthesizes a scenario's population from the fitted
+// model: the LTE block of UEs [0, n1) from ms with the scenario seed,
+// and the 5G SA block [n1, N) — round(sa_share*N) UEs — from the
+// SA-adapted model with seed+1, merged into one sorted trace.
+func generateScenario(ms *core.ModelSet, s *scenario.Scenario, workers int, hoFactor float64) (*trace.Trace, error) {
+	n := s.Population.UEs
+	nSA := int(math.Round(s.SAShare * float64(n)))
+	nLTE := n - nSA
+	gopt := core.GenOptions{
+		StartHour: s.StartHour,
+		Duration:  s.Duration(),
+		Seed:      s.Seed,
+		Workers:   workers,
+	}
+	parts := make([]*trace.Trace, 0, 2)
+	if nLTE > 0 {
+		lopt := gopt
+		lopt.NumUEs = nLTE
+		tr, err := core.Generate(ms, lopt)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, tr)
+	}
+	if nSA > 0 {
+		factor := hoFactor
+		if factor <= 0 {
+			factor = fiveg.SAHandoverFactor
+		}
+		msSA, err := fiveg.ToSA(ms, factor)
+		if err != nil {
+			return nil, err
+		}
+		sopt := gopt
+		sopt.NumUEs = nSA
+		sopt.Seed = s.Seed + 1
+		tr, err := core.Generate(msSA, sopt)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, renumberUEs(tr, cp.UEID(nLTE)))
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return trace.Merge(parts...)
+}
+
+// renumberUEs shifts every UE id in tr by offset, so two independently
+// generated populations occupy disjoint id blocks before merging.
+func renumberUEs(tr *trace.Trace, offset cp.UEID) *trace.Trace {
+	out := trace.New()
+	for _, ue := range tr.UEs() {
+		if err := out.SetDevice(ue+offset, tr.Device[ue]); err != nil {
+			// Shifting a duplicate-free id set cannot conflict.
+			panic(err)
+		}
+	}
+	out.Events = make([]trace.Event, 0, tr.Len())
+	for _, e := range tr.Events {
+		e.UE += offset
+		out.Events = append(out.Events, e)
+	}
+	return out
 }
 
 // countingSink wraps an EventSink, tallying what passes through.

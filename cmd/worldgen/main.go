@@ -6,6 +6,12 @@
 //
 //	worldgen -ues 2000 -hours 48 -seed 1 -o world.trace
 //	worldgen -ues 2000000 -hours 24 -stream -binary -o big.trace
+//	worldgen -scenario scenarios/stadium-event.json -o stadium.trace
+//
+// With -scenario the population, window, seed, mix, and scales come
+// from a scenario/1 file (see SCENARIOS.md) and the corresponding
+// flags are rejected; the fault schedule is applied by cmd/stormsim,
+// not here.
 //
 // With -stream the population is simulated and written incrementally —
 // peak memory is O(UEs), not the trace size — producing byte-identical
@@ -21,6 +27,7 @@ import (
 
 	"cptraffic/internal/cp"
 	"cptraffic/internal/prof"
+	"cptraffic/internal/scenario"
 	"cptraffic/internal/trace"
 	"cptraffic/internal/world"
 )
@@ -73,6 +80,7 @@ func main() {
 		phones  = flag.Float64("phones", -1, "phone share override (with -cars, -tablets)")
 		cars    = flag.Float64("cars", -1, "connected-car share override")
 		tabs    = flag.Float64("tablets", -1, "tablet share override")
+		scnPath = flag.String("scenario", "", "take population/window/seed/mix/scales from this scenario/1 file")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -98,6 +106,16 @@ func main() {
 		}
 		opt.Mix = []float64{*phones, *cars, *tabs}
 	}
+	if *scnPath != "" {
+		if opt.Mix != nil {
+			log.Fatal("-scenario conflicts with -phones/-cars/-tablets; set population.mix in the file")
+		}
+		s, err := scenario.Load(*scnPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt = s.WorldOptions(0)
+	}
 
 	w := os.Stdout
 	if *out != "-" {
@@ -122,7 +140,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "worldgen: %d UEs, %d events over %d h (streamed)\n", nUEs, nEvents, *hours)
+		fmt.Fprintf(os.Stderr, "worldgen: %d UEs, %d events over %.1f h (streamed)\n", nUEs, nEvents, float64(opt.Duration)/float64(cp.Hour))
 		return
 	}
 
@@ -137,5 +155,5 @@ func main() {
 	if err := writeFn(w, tr); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "worldgen: %d UEs, %d events over %d h\n", tr.NumUEs(), tr.Len(), *hours)
+	fmt.Fprintf(os.Stderr, "worldgen: %d UEs, %d events over %.1f h\n", tr.NumUEs(), tr.Len(), float64(opt.Duration)/float64(cp.Hour))
 }

@@ -161,3 +161,32 @@ func ExampleMethods() {
 	// Output:
 	// [base v1 v2 ours]
 }
+
+// ExampleScenario runs a starter scenario end to end at reduced scale:
+// load and validate the file, simulate its population, and replay the
+// fault schedule into a storm report. Same file + seed means identical
+// output at any worker count, so the printed facts are pinned.
+func ExampleScenario() {
+	s, err := cptraffic.LoadScenario("scenarios/stadium-event.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s = s.Scaled(0.01) // 600 UEs instead of 60000
+	tr, err := cptraffic.SimulateScenario(s, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := cptraffic.RunStorm(s, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("scenario:", rep.Scenario)
+	fmt.Println("faults:", len(s.Faults))
+	fmt.Println("injected attaches:", rep.InjectedAttaches)
+	fmt.Println("events replayed:", rep.Events > 10000)
+	// Output:
+	// scenario: stadium-event
+	// faults: 2
+	// injected attaches: 360
+	// events replayed: true
+}

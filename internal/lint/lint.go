@@ -86,10 +86,10 @@ func (d Diagnostic) String() string {
 // DetPackages lists the determinism-critical packages, by import-path
 // suffix: the model-fitting and generation core, the ground-truth
 // simulator, the state machines, the numeric kernels, the clusterer,
-// the trace codecs, the evaluation sweeps, and the table renderer.
-// detmap and detsource enforce their invariants only inside these
-// packages; cmd/ CLIs (flag parsing, wall-clock logging) are exempt by
-// omission.
+// the trace codecs, the evaluation sweeps, the table renderer, the
+// storm-replay engine, and the scenario loader. detmap and detsource
+// enforce their invariants only inside these packages; cmd/ CLIs (flag
+// parsing, wall-clock logging) are exempt by omission.
 var DetPackages = []string{
 	"internal/core",
 	"internal/world",
@@ -99,6 +99,8 @@ var DetPackages = []string{
 	"internal/trace",
 	"internal/eval",
 	"internal/report",
+	"internal/mcn",
+	"internal/scenario",
 }
 
 // pathHasSuffix reports whether path equals suffix or ends in

@@ -1,0 +1,342 @@
+package mcn
+
+import (
+	"bytes"
+	"testing"
+
+	"cptraffic/internal/cp"
+	"cptraffic/internal/trace"
+)
+
+// stormTrace builds a sorted trace of n UEs emitting one SRV_REQ per
+// second each, round-robin, over the given number of seconds.
+func stormTrace(t *testing.T, ues, seconds int) *trace.Trace {
+	t.Helper()
+	tr := trace.New()
+	for i := 0; i < ues; i++ {
+		if err := tr.SetDevice(cp.UEID(i), cp.Phone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 0; s < seconds; s++ {
+		tr.Append(trace.Event{
+			T:    cp.Millis(s) * cp.Second,
+			UE:   cp.UEID(s % ues),
+			Type: cp.ServiceRequest,
+		})
+	}
+	tr.Sort()
+	return tr
+}
+
+// uniformCapacity returns an explicit capacity so no derivation runs.
+func uniformCapacity(rate float64) Capacity {
+	var c Capacity
+	for n := range c {
+		c[n] = rate
+	}
+	return c
+}
+
+func TestFaultValidation(t *testing.T) {
+	bad := []Fault{
+		{Kind: FaultKind(99), Duration: cp.Minute},
+		{Kind: FaultSlowdown, NF: NFMME, Duration: 0, Factor: 2},
+		{Kind: FaultSlowdown, NF: NFMME, Start: -1, Duration: cp.Minute, Factor: 2},
+		{Kind: FaultSlowdown, NF: NFMME, Duration: cp.Minute, Factor: 1},
+		{Kind: FaultSlowdown, NF: NF(200), Duration: cp.Minute, Factor: 2},
+		{Kind: FaultRetryStorm, NF: NFSGW, Duration: cp.Minute, Factor: 0.5},
+		{Kind: FaultOutage, NF: NF(200), Duration: cp.Minute},
+		{Kind: FaultMassReattach, Duration: cp.Minute, Fraction: 0},
+		{Kind: FaultMassReattach, Duration: cp.Minute, Fraction: 1.5},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("fault %d (%+v): expected validation error", i, f)
+		}
+	}
+	good := []Fault{
+		{Kind: FaultSlowdown, NF: NFMME, Start: cp.Minute, Duration: cp.Minute, Factor: 4},
+		{Kind: FaultOutage, NF: NFSGW, Duration: cp.Minute},
+		{Kind: FaultRetryStorm, NF: NFHSS, Duration: cp.Minute, Factor: 5},
+		{Kind: FaultMassReattach, Duration: cp.Minute, Fraction: 0.5},
+	}
+	if err := ValidateSchedule(good); err != nil {
+		t.Fatalf("good schedule rejected: %v", err)
+	}
+}
+
+func TestFaultKindRoundTrip(t *testing.T) {
+	for k := FaultKind(0); int(k) < NumFaultKinds; k++ {
+		got, err := ParseFaultKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseFaultKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseFaultKind("nope"); err == nil {
+		t.Error("ParseFaultKind accepted garbage")
+	}
+	for n := 0; n < NumNFs; n++ {
+		got, err := ParseNF(NF(n).String())
+		if err != nil || got != NF(n) {
+			t.Errorf("ParseNF(%q) = %v, %v", NF(n).String(), got, err)
+		}
+	}
+	if _, err := ParseNF("XYZ"); err == nil {
+		t.Error("ParseNF accepted garbage")
+	}
+}
+
+func TestStormHealthyBaseline(t *testing.T) {
+	tr := stormTrace(t, 10, 600)
+	rep, err := ReplayStorm(tr, StormConfig{Capacity: uniformCapacity(10), Bin: 10 * cp.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mme := rep.PerNF[NFMME]
+	if mme.Transactions != 600 {
+		t.Errorf("MME transactions = %d, want 600", mme.Transactions)
+	}
+	if mme.Drops != 0 || mme.Retries != 0 {
+		t.Errorf("healthy replay has drops=%d retries=%d", mme.Drops, mme.Retries)
+	}
+	// 1 tx/s offered against 10 tx/s capacity: the queue never builds.
+	if mme.PeakQueue > 1 {
+		t.Errorf("healthy peak queue = %d, want <= 1", mme.PeakQueue)
+	}
+	// SRV_REQ does not touch HSS/PGW/PCRF.
+	for _, n := range []NF{NFHSS, NFPGW, NFPCRF} {
+		if rep.PerNF[n].Transactions != 0 {
+			t.Errorf("%v transactions = %d, want 0", n, rep.PerNF[n].Transactions)
+		}
+	}
+}
+
+func TestStormOutageBacklogAndRecovery(t *testing.T) {
+	tr := stormTrace(t, 10, 600)
+	cfg := StormConfig{
+		Capacity: uniformCapacity(10),
+		Bin:      10 * cp.Second,
+		Faults: []Fault{{
+			Kind: FaultOutage, NF: NFMME,
+			Start: 100 * cp.Second, Duration: 100 * cp.Second,
+		}},
+	}
+	rep, err := ReplayStorm(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mme := rep.PerNF[NFMME]
+	// ~100 arrivals during the outage must pile up...
+	if mme.PeakQueue < 90 {
+		t.Errorf("outage peak queue = %d, want >= 90", mme.PeakQueue)
+	}
+	if mme.PeakDelaySec < 50 {
+		t.Errorf("outage peak delay = %.1f s, want >= 50", mme.PeakDelaySec)
+	}
+	// ...be visible in the depth series during the window...
+	outageBin := int(150 * cp.Second / (10 * cp.Second))
+	if mme.QueueDepth[outageBin] < 40 {
+		t.Errorf("queue depth mid-outage = %d, want >= 40", mme.QueueDepth[outageBin])
+	}
+	// ...and fully drain by the end (10 tx/s capacity vs 1 tx/s load).
+	if last := mme.QueueDepth[len(mme.QueueDepth)-1]; last > 1 {
+		t.Errorf("queue depth at end = %d, want drained", last)
+	}
+	// The SGW shares the SRV_REQ call flow but was healthy throughout.
+	if sgw := rep.PerNF[NFSGW]; sgw.PeakQueue > 1 {
+		t.Errorf("SGW peak queue = %d, want <= 1", sgw.PeakQueue)
+	}
+}
+
+func TestStormQueueBoundDrops(t *testing.T) {
+	tr := stormTrace(t, 10, 600)
+	cfg := StormConfig{
+		Capacity: uniformCapacity(10),
+		MaxQueue: 20,
+		Bin:      10 * cp.Second,
+		Faults: []Fault{{
+			Kind: FaultOutage, NF: NFMME,
+			Start: 100 * cp.Second, Duration: 200 * cp.Second,
+		}},
+	}
+	rep, err := ReplayStorm(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mme := rep.PerNF[NFMME]
+	if mme.Drops == 0 {
+		t.Fatal("bounded queue under a 200 s outage produced no drops")
+	}
+	if mme.PeakQueue > 20 {
+		t.Errorf("peak queue %d exceeds the bound 20", mme.PeakQueue)
+	}
+	var seriesTotal int
+	for _, d := range mme.DropSeries {
+		seriesTotal += d
+	}
+	if seriesTotal != mme.Drops {
+		t.Errorf("drop series sums to %d, total says %d", seriesTotal, mme.Drops)
+	}
+}
+
+func TestStormRetryAmplification(t *testing.T) {
+	// Five simultaneous SRV_REQs per second against 5 tx/s capacity:
+	// intra-batch waits reach 0.8 s — under the default 1 s timeout, so
+	// the healthy system never retries. A retry storm dividing the
+	// timeout by 10 turns those marginal waits into re-send bursts.
+	tr := trace.New()
+	for i := 0; i < 5; i++ {
+		if err := tr.SetDevice(cp.UEID(i), cp.Phone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 0; s < 300; s++ {
+		for i := 0; i < 5; i++ {
+			tr.Append(trace.Event{T: cp.Millis(s) * cp.Second, UE: cp.UEID(i), Type: cp.ServiceRequest})
+		}
+	}
+	tr.Sort()
+	base, err := ReplayStorm(tr, StormConfig{
+		Capacity: uniformCapacity(5), Bin: 10 * cp.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.PerNF[NFMME].Retries != 0 {
+		t.Fatalf("healthy replay retried %d times, want 0", base.PerNF[NFMME].Retries)
+	}
+	stormed, err := ReplayStorm(tr, StormConfig{
+		Capacity: uniformCapacity(5), Bin: 10 * cp.Second,
+		Faults: []Fault{{
+			Kind: FaultRetryStorm, NF: NFMME,
+			Start: 100 * cp.Second, Duration: 100 * cp.Second, Factor: 10,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stormed.PerNF[NFMME].Retries == 0 {
+		t.Error("retry storm produced no retries")
+	}
+	if stormed.PerNF[NFMME].PeakDelaySec <= base.PerNF[NFMME].PeakDelaySec {
+		t.Errorf("retry storm did not raise peak delay: %.2f vs %.2f",
+			stormed.PerNF[NFMME].PeakDelaySec, base.PerNF[NFMME].PeakDelaySec)
+	}
+	// The storm is confined to the MME; the SGW leg of the call flow
+	// keeps its healthy retry count.
+	if stormed.PerNF[NFSGW].Retries != 0 {
+		t.Errorf("SGW retried %d times under an MME-only storm", stormed.PerNF[NFSGW].Retries)
+	}
+}
+
+func TestStormMassReattach(t *testing.T) {
+	tr := stormTrace(t, 100, 600)
+	rep, err := ReplayStorm(tr, StormConfig{
+		Capacity: uniformCapacity(50),
+		Bin:      10 * cp.Second,
+		Faults: []Fault{{
+			Kind: FaultMassReattach, Fraction: 0.5,
+			Start: 300 * cp.Second, Duration: 60 * cp.Second,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InjectedAttaches != 50 {
+		t.Errorf("injected attaches = %d, want 50", rep.InjectedAttaches)
+	}
+	// Attaches fan out to every NF, so the HSS — idle in the healthy
+	// trace — sees exactly the wave.
+	if hss := rep.PerNF[NFHSS].Transactions; hss != 50 {
+		t.Errorf("HSS transactions = %d, want 50", hss)
+	}
+	var attaches int
+	for _, c := range rep.Attach.Count {
+		attaches += c
+	}
+	if attaches+rep.Attach.Dropped != 50 {
+		t.Errorf("attach latency series counts %d (+%d dropped), want 50",
+			attaches, rep.Attach.Dropped)
+	}
+}
+
+func TestStormSAShareFiltersTAU(t *testing.T) {
+	tr := trace.New()
+	for i := 0; i < 10; i++ {
+		if err := tr.SetDevice(cp.UEID(i), cp.Phone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 0; s < 100; s++ {
+		typ := cp.ServiceRequest
+		if s%2 == 1 {
+			typ = cp.TrackingAreaUpdate
+		}
+		tr.Append(trace.Event{T: cp.Millis(s) * cp.Second, UE: cp.UEID(s % 10), Type: typ})
+	}
+	tr.Sort()
+	all, err := ReplayStorm(tr, StormConfig{Capacity: uniformCapacity(10), SAShare: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.FilteredTAUs != 50 {
+		t.Errorf("SAShare=1 filtered %d TAUs, want 50", all.FilteredTAUs)
+	}
+	if all.Events != 50 {
+		t.Errorf("SAShare=1 processed %d events, want 50", all.Events)
+	}
+	none, err := ReplayStorm(tr, StormConfig{Capacity: uniformCapacity(10), SAShare: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.FilteredTAUs != 0 || none.Events != 100 {
+		t.Errorf("SAShare=0 filtered %d, processed %d; want 0, 100",
+			none.FilteredTAUs, none.Events)
+	}
+}
+
+func TestStormReportDeterministic(t *testing.T) {
+	tr := stormTrace(t, 50, 600)
+	cfg := StormConfig{
+		Bin: 10 * cp.Second,
+		Faults: []Fault{
+			{Kind: FaultOutage, NF: NFMME, Start: 100 * cp.Second, Duration: 60 * cp.Second},
+			{Kind: FaultRetryStorm, NF: NFMME, Start: 100 * cp.Second, Duration: 120 * cp.Second, Factor: 5},
+			{Kind: FaultMassReattach, Fraction: 0.3, Start: 160 * cp.Second, Duration: 30 * cp.Second},
+		},
+	}
+	var a, b bytes.Buffer
+	repA, err := ReplayStorm(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repA.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	repB, err := ReplayStorm(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repB.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical replays produced different report bytes")
+	}
+}
+
+func TestStormRejectsBadInput(t *testing.T) {
+	if _, err := ReplayStorm(trace.New(), StormConfig{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	tr := stormTrace(t, 2, 10)
+	if _, err := ReplayStorm(tr, StormConfig{SAShare: 2}); err == nil {
+		t.Error("SAShare > 1 accepted")
+	}
+	if _, err := ReplayStorm(tr, StormConfig{
+		Faults: []Fault{{Kind: FaultSlowdown, NF: NFMME, Duration: cp.Minute, Factor: 0.5}},
+	}); err == nil {
+		t.Error("invalid schedule accepted")
+	}
+}

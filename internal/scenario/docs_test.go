@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// collectJSONFields walks a struct type and appends every json field
+// name the loader consumes, recursing through pointers, slices, and
+// nested structs. Append order follows struct declaration order, so
+// the result is deterministic.
+func collectJSONFields(t reflect.Type, out []string) []string {
+	for t.Kind() == reflect.Pointer || t.Kind() == reflect.Slice {
+		t = t.Elem()
+	}
+	if t.Kind() != reflect.Struct {
+		return out
+	}
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		tag := f.Tag.Get("json")
+		if tag == "" || tag == "-" {
+			continue
+		}
+		name := tag
+		if c := strings.IndexByte(tag, ','); c >= 0 {
+			name = tag[:c]
+		}
+		if name != "" {
+			out = append(out, name)
+		}
+		out = collectJSONFields(f.Type, out)
+	}
+	return out
+}
+
+// TestSpecDocumentsEveryField pins SCENARIOS.md to the loader: every
+// json field of the Scenario struct tree must appear (backticked) in
+// the normative spec, so the spec cannot silently drift behind the
+// code.
+func TestSpecDocumentsEveryField(t *testing.T) {
+	md, err := os.ReadFile("../../SCENARIOS.md")
+	if err != nil {
+		t.Fatalf("SCENARIOS.md missing: %v", err)
+	}
+	spec := string(md)
+	fields := collectJSONFields(reflect.TypeOf(Scenario{}), nil)
+	if len(fields) < 15 {
+		t.Fatalf("field walk found only %d fields — walker broken?", len(fields))
+	}
+	for _, n := range fields {
+		if !strings.Contains(spec, "`"+n+"`") {
+			t.Errorf("SCENARIOS.md does not document field `%s`", n)
+		}
+	}
+}

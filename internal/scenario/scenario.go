@@ -1,0 +1,414 @@
+// Package scenario defines the versioned scenario file format of the
+// signaling-storm suite: a named, self-contained description of a
+// population, its diurnal placement, the 4G/5G split, the core's
+// capacities, and a timed fault schedule. One scenario file plus its
+// seed fully determines a trace and a storm-propagation report, byte
+// for byte, at any worker count.
+//
+// The on-disk format is JSON with schema tag "scenario/1". Parsing is
+// strict — unknown fields and unknown schema versions are rejected —
+// and Marshal produces the canonical indented encoding, so a canonical
+// file round-trips byte-identically through Parse and Marshal. The
+// normative field reference lives in SCENARIOS.md at the repo root.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"cptraffic/internal/cp"
+	"cptraffic/internal/mcn"
+	"cptraffic/internal/trace"
+	"cptraffic/internal/world"
+)
+
+// SchemaV1 is the schema tag every scenario/1 file must carry.
+const SchemaV1 = "scenario/1"
+
+// Mix is an explicit device composition. Entries are relative weights
+// (they are normalized, so 627/249/124 and 0.627/0.249/0.124 are the
+// same mix); at least one must be positive.
+type Mix struct {
+	Phone        float64 `json:"phone"`
+	ConnectedCar float64 `json:"connected_car"`
+	Tablet       float64 `json:"tablet"`
+}
+
+// Population describes who is in the cell: how many UEs and,
+// optionally, their device composition. A nil Mix means the paper's
+// default 62.7/24.9/12.4% phone/car/tablet split.
+type Population struct {
+	UEs int  `json:"ues"`
+	Mix *Mix `json:"mix,omitempty"`
+}
+
+// Capacity is an explicit per-NF service capacity in transactions per
+// second. Entries that are 0 (or the whole block, when absent) are
+// derived from the healthy offered load with 30% headroom.
+type Capacity struct {
+	MME  float64 `json:"mme"`
+	HSS  float64 `json:"hss"`
+	SGW  float64 `json:"sgw"`
+	PGW  float64 `json:"pgw"`
+	PCRF float64 `json:"pcrf"`
+}
+
+// Fault is one fault-schedule entry. Times are minutes relative to the
+// scenario start, so a schedule reads naturally next to duration_min
+// and survives changes to start_hour.
+type Fault struct {
+	// Kind is one of "slowdown", "outage", "retry_storm",
+	// "mass_reattach" (mcn.FaultKind spellings).
+	Kind string `json:"kind"`
+	// NF targets "MME", "HSS", "SGW", "PGW", or "PCRF"; required for
+	// slowdown, outage, and retry_storm, ignored by mass_reattach.
+	NF string `json:"nf,omitempty"`
+	// StartMin and DurationMin bound the fault window, in minutes from
+	// the scenario start.
+	StartMin    float64 `json:"start_min"`
+	DurationMin float64 `json:"duration_min"`
+	// Factor is the slowdown service-rate divisor or the retry_storm
+	// timeout divisor; must be > 1 for those kinds.
+	Factor float64 `json:"factor,omitempty"`
+	// Fraction is the share of the population that re-attaches in a
+	// mass_reattach window; must be in (0, 1].
+	Fraction float64 `json:"fraction,omitempty"`
+}
+
+// Scenario is a parsed scenario/1 file. The zero value is not valid;
+// build scenarios by hand and Validate them, or Load them from disk.
+type Scenario struct {
+	// Schema must be "scenario/1".
+	Schema string `json:"schema"`
+	// Name identifies the scenario in reports and CI output.
+	Name string `json:"name"`
+	// Description is free-form prose for humans.
+	Description string `json:"description,omitempty"`
+	// Seed makes the scenario reproducible; same file + same seed =>
+	// identical trace and report bytes at any worker count.
+	Seed uint64 `json:"seed"`
+	// StartHour places the window in the diurnal cycle: the simulation
+	// warm-starts at this hour of day 0 (0-23).
+	StartHour int `json:"start_hour"`
+	// DurationMin is the scenario length in minutes.
+	DurationMin int `json:"duration_min"`
+	// Population describes the UE fleet.
+	Population Population `json:"population"`
+	// Mobility scales every UE's handover rate; 0 means the calibrated
+	// default of 1.0 (a highway is > 1, a seated crowd < 1).
+	Mobility float64 `json:"mobility,omitempty"`
+	// Activity scales every UE's session-arrival rate; 0 means 1.0.
+	Activity float64 `json:"activity,omitempty"`
+	// SAShare is the fraction of UEs treated as 5G standalone, whose
+	// TAU events are filtered before the storm replay (paper Table 2).
+	SAShare float64 `json:"sa_share,omitempty"`
+	// TimeoutSec is the client retry timeout; 0 means 1 s.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// MaxRetries caps re-sends per transaction; 0 means 2, negative
+	// disables retries.
+	MaxRetries int `json:"max_retries,omitempty"`
+	// MaxQueue bounds each NF's pending queue; 0 means 10000.
+	MaxQueue int `json:"max_queue,omitempty"`
+	// ReportBinSec is the report time-series resolution; 0 means 60 s.
+	ReportBinSec int `json:"report_bin_sec,omitempty"`
+	// Capacity optionally pins per-NF capacities; absent or zero
+	// entries are derived with 30% headroom over the healthy load.
+	Capacity *Capacity `json:"capacity,omitempty"`
+	// Faults is the fault schedule.
+	Faults []Fault `json:"faults,omitempty"`
+}
+
+// Parse decodes one scenario from r. The schema version is checked
+// first (so files from a future scenario/2 fail with a version error,
+// not a field error); then the full document is decoded strictly,
+// rejecting unknown fields, and validated.
+func Parse(r io.Reader) (*Scenario, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(raw, &head); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if head.Schema != SchemaV1 {
+		return nil, fmt.Errorf("scenario: unsupported schema %q (this build reads %q)", head.Schema, SchemaV1)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	s := new(Scenario)
+	if err := dec.Decode(s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: trailing data after document")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Load reads and parses the scenario file at path.
+func Load(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Marshal returns the canonical encoding: two-space-indented JSON in
+// struct field order with a trailing newline. Canonical files (the
+// starter library, anything written by this function) round-trip
+// byte-identically through Parse and Marshal.
+func (s *Scenario) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Validate checks every field. It is called by Parse; call it directly
+// on hand-built scenarios.
+func (s *Scenario) Validate() error {
+	if s.Schema != SchemaV1 {
+		return fmt.Errorf("scenario: unsupported schema %q (this build reads %q)", s.Schema, SchemaV1)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("scenario: name is required")
+	}
+	if strings.ContainsAny(s.Name, "\n\r") {
+		return fmt.Errorf("scenario: name must be a single line")
+	}
+	if s.StartHour < 0 || s.StartHour > 23 {
+		return fmt.Errorf("scenario: start_hour must be in [0, 23] (got %d)", s.StartHour)
+	}
+	if s.DurationMin <= 0 {
+		return fmt.Errorf("scenario: duration_min must be positive (got %d)", s.DurationMin)
+	}
+	if s.Population.UEs <= 0 {
+		return fmt.Errorf("scenario: population.ues must be positive (got %d)", s.Population.UEs)
+	}
+	if m := s.Population.Mix; m != nil {
+		if m.Phone < 0 || m.ConnectedCar < 0 || m.Tablet < 0 {
+			return fmt.Errorf("scenario: population.mix entries must be non-negative")
+		}
+		if m.Phone+m.ConnectedCar+m.Tablet <= 0 {
+			return fmt.Errorf("scenario: population.mix must have a positive entry")
+		}
+	}
+	if s.Mobility < 0 {
+		return fmt.Errorf("scenario: mobility must be non-negative (got %g)", s.Mobility)
+	}
+	if s.Activity < 0 {
+		return fmt.Errorf("scenario: activity must be non-negative (got %g)", s.Activity)
+	}
+	if s.SAShare < 0 || s.SAShare > 1 {
+		return fmt.Errorf("scenario: sa_share must be in [0, 1] (got %g)", s.SAShare)
+	}
+	if s.TimeoutSec < 0 {
+		return fmt.Errorf("scenario: timeout_sec must be non-negative (got %g)", s.TimeoutSec)
+	}
+	if s.MaxQueue < 0 {
+		return fmt.Errorf("scenario: max_queue must be non-negative (got %d)", s.MaxQueue)
+	}
+	if s.ReportBinSec < 0 {
+		return fmt.Errorf("scenario: report_bin_sec must be non-negative (got %d)", s.ReportBinSec)
+	}
+	if c := s.Capacity; c != nil {
+		for _, v := range [...]float64{c.MME, c.HSS, c.SGW, c.PGW, c.PCRF} {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("scenario: capacity entries must be finite and non-negative")
+			}
+		}
+	}
+	faults, err := s.faults()
+	if err != nil {
+		return err
+	}
+	return mcn.ValidateSchedule(faults)
+}
+
+// Offset is the absolute simulation start time (start_hour into day 0).
+func (s *Scenario) Offset() cp.Millis { return cp.Millis(s.StartHour) * cp.Hour }
+
+// Duration is the scenario length.
+func (s *Scenario) Duration() cp.Millis { return cp.Millis(s.DurationMin) * cp.Minute }
+
+// WorldOptions maps the scenario onto the world simulator. Workers
+// only bounds concurrency — it never changes output bytes.
+func (s *Scenario) WorldOptions(workers int) world.Options {
+	opt := world.Options{
+		NumUEs:        s.Population.UEs,
+		Duration:      s.Duration(),
+		Offset:        s.Offset(),
+		Seed:          s.Seed,
+		MobilityScale: s.Mobility,
+		ActivityScale: s.Activity,
+		Workers:       workers,
+	}
+	if m := s.Population.Mix; m != nil {
+		// Canonical device order: phone, connected car, tablet.
+		opt.Mix = []float64{m.Phone, m.ConnectedCar, m.Tablet}
+	}
+	return opt
+}
+
+// faults maps the schedule onto mcn faults in absolute trace time
+// (offset + start_min minutes).
+func (s *Scenario) faults() ([]mcn.Fault, error) {
+	if len(s.Faults) == 0 {
+		return nil, nil
+	}
+	out := make([]mcn.Fault, 0, len(s.Faults))
+	off := s.Offset()
+	for i, f := range s.Faults {
+		kind, err := mcn.ParseFaultKind(f.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: fault %d: %w", i, err)
+		}
+		mf := mcn.Fault{
+			Kind:     kind,
+			Start:    off + cp.MillisFromSeconds(60*f.StartMin),
+			Duration: cp.MillisFromSeconds(60 * f.DurationMin),
+			Factor:   f.Factor,
+			Fraction: f.Fraction,
+		}
+		if kind != mcn.FaultMassReattach {
+			nf, err := mcn.ParseNF(f.NF)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: fault %d: %w", i, err)
+			}
+			mf.NF = nf
+		} else if f.NF != "" {
+			return nil, fmt.Errorf("scenario: fault %d: mass_reattach takes no nf", i)
+		}
+		if f.StartMin < 0 {
+			return nil, fmt.Errorf("scenario: fault %d: start_min must be non-negative", i)
+		}
+		out = append(out, mf)
+	}
+	return out, nil
+}
+
+// StormConfig maps the scenario onto the storm replay engine.
+func (s *Scenario) StormConfig() (mcn.StormConfig, error) {
+	faults, err := s.faults()
+	if err != nil {
+		return mcn.StormConfig{}, err
+	}
+	cfg := mcn.StormConfig{
+		TimeoutSec: s.TimeoutSec,
+		MaxRetries: s.MaxRetries,
+		MaxQueue:   s.MaxQueue,
+		Bin:        cp.Millis(s.ReportBinSec) * cp.Second,
+		SAShare:    s.SAShare,
+		Faults:     faults,
+	}
+	if c := s.Capacity; c != nil {
+		cfg.Capacity[mcn.NFMME] = c.MME
+		cfg.Capacity[mcn.NFHSS] = c.HSS
+		cfg.Capacity[mcn.NFSGW] = c.SGW
+		cfg.Capacity[mcn.NFPGW] = c.PGW
+		cfg.Capacity[mcn.NFPCRF] = c.PCRF
+	}
+	return cfg, nil
+}
+
+// Scaled returns a copy of the scenario with the population — and any
+// explicit capacities, so fault pressure is preserved — multiplied by
+// factor (population floor 1). Fault fractions, scales, and the
+// schedule are untouched: a scaled scenario storms the same way,
+// smaller. Scaled(1) returns an identical copy.
+func (s *Scenario) Scaled(factor float64) *Scenario {
+	out := *s
+	out.Faults = append([]Fault(nil), s.Faults...)
+	if factor == 1 {
+		if s.Population.Mix != nil {
+			m := *s.Population.Mix
+			out.Population.Mix = &m
+		}
+		if s.Capacity != nil {
+			c := *s.Capacity
+			out.Capacity = &c
+		}
+		return &out
+	}
+	ues := int(math.Round(float64(s.Population.UEs) * factor))
+	if ues < 1 {
+		ues = 1
+	}
+	out.Population.UEs = ues
+	if s.Population.Mix != nil {
+		m := *s.Population.Mix
+		out.Population.Mix = &m
+	}
+	if s.Capacity != nil {
+		c := *s.Capacity
+		c.MME *= factor
+		c.HSS *= factor
+		c.SGW *= factor
+		c.PGW *= factor
+		c.PCRF *= factor
+		out.Capacity = &c
+	}
+	return &out
+}
+
+// FilterSA returns a copy of tr without the tracking-area updates of
+// the scenario's 5G SA share (SA has no TAU, paper Table 2), using the
+// same deterministic membership hash as the storm replay. A zero share
+// returns tr unchanged.
+func (s *Scenario) FilterSA(tr *trace.Trace) *trace.Trace {
+	if s.SAShare <= 0 {
+		return tr
+	}
+	out := trace.New()
+	for _, ue := range tr.UEs() {
+		if err := out.SetDevice(ue, tr.Device[ue]); err != nil {
+			// UEs() is duplicate-free, so registration cannot conflict.
+			panic(err)
+		}
+	}
+	for _, e := range tr.Events {
+		if e.Type == cp.TrackingAreaUpdate && mcn.SAMember(e.UE, s.SAShare) {
+			continue
+		}
+		out.Events = append(out.Events, e)
+	}
+	return out
+}
+
+// Simulate generates the scenario's ground-truth trace.
+func Simulate(s *Scenario, workers int) (*trace.Trace, error) {
+	return world.Generate(s.WorldOptions(workers))
+}
+
+// Storm replays tr through the scenario's fault schedule and returns
+// the storm-propagation report, stamped with the scenario name.
+func Storm(s *Scenario, tr *trace.Trace) (*mcn.StormReport, error) {
+	cfg, err := s.StormConfig()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := mcn.ReplayStorm(tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Scenario = s.Name
+	return rep, nil
+}

@@ -1,0 +1,226 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cptraffic/internal/cp"
+	"cptraffic/internal/trace"
+)
+
+// testScenario builds a small fault-bearing scenario covering every
+// top-level field.
+func testScenario() *Scenario {
+	return &Scenario{
+		Schema:       SchemaV1,
+		Name:         "unit-test",
+		Description:  "tiny fault-bearing scenario for tests",
+		Seed:         42,
+		StartHour:    18,
+		DurationMin:  30,
+		Population:   Population{UEs: 400, Mix: &Mix{Phone: 0.5, ConnectedCar: 0.3, Tablet: 0.2}},
+		Mobility:     1.5,
+		Activity:     2,
+		SAShare:      0.25,
+		TimeoutSec:   0.5,
+		MaxRetries:   3,
+		MaxQueue:     500,
+		ReportBinSec: 30,
+		Capacity:     &Capacity{MME: 20, HSS: 5, SGW: 15, PGW: 5, PCRF: 5},
+		Faults: []Fault{
+			{Kind: "outage", NF: "MME", StartMin: 5, DurationMin: 3},
+			{Kind: "slowdown", NF: "SGW", StartMin: 10, DurationMin: 5, Factor: 4},
+			{Kind: "retry_storm", NF: "MME", StartMin: 10, DurationMin: 5, Factor: 5},
+			{Kind: "mass_reattach", StartMin: 8, DurationMin: 2, Fraction: 0.5},
+		},
+	}
+}
+
+func TestRoundTripByteStable(t *testing.T) {
+	s := testScenario()
+	b1, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(bytes.NewReader(b1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := s2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("canonical marshal is not byte-stable:\n%s\nvs\n%s", b1, b2)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Fatal("round trip changed the scenario value")
+	}
+}
+
+func TestParseRejectsUnknownVersion(t *testing.T) {
+	_, err := Parse(strings.NewReader(`{"schema": "scenario/2", "name": "x"}`))
+	if err == nil || !strings.Contains(err.Error(), "unsupported schema") {
+		t.Fatalf("want unsupported-schema error, got %v", err)
+	}
+	// The version check must win over the unknown-field check, so a
+	// future file with new fields reports its version, not its fields.
+	_, err = Parse(strings.NewReader(`{"schema": "scenario/2", "name": "x", "new_knob": 1}`))
+	if err == nil || !strings.Contains(err.Error(), "unsupported schema") {
+		t.Fatalf("want unsupported-schema error, got %v", err)
+	}
+}
+
+func TestParseRejectsUnknownField(t *testing.T) {
+	s := testScenario()
+	b, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Replace(b, []byte(`"name"`), []byte(`"nmae"`), 1)
+	if _, err := Parse(bytes.NewReader(bad)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestValidateCatchesBadFields(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+	}{
+		{"empty name", func(s *Scenario) { s.Name = "" }},
+		{"multiline name", func(s *Scenario) { s.Name = "a\nb" }},
+		{"bad hour", func(s *Scenario) { s.StartHour = 24 }},
+		{"zero duration", func(s *Scenario) { s.DurationMin = 0 }},
+		{"zero population", func(s *Scenario) { s.Population.UEs = 0 }},
+		{"negative mix", func(s *Scenario) { s.Population.Mix.Phone = -1 }},
+		{"empty mix", func(s *Scenario) { *s.Population.Mix = Mix{} }},
+		{"negative mobility", func(s *Scenario) { s.Mobility = -1 }},
+		{"negative activity", func(s *Scenario) { s.Activity = -0.1 }},
+		{"sa share", func(s *Scenario) { s.SAShare = 1.5 }},
+		{"negative timeout", func(s *Scenario) { s.TimeoutSec = -1 }},
+		{"negative queue", func(s *Scenario) { s.MaxQueue = -1 }},
+		{"negative bin", func(s *Scenario) { s.ReportBinSec = -1 }},
+		{"negative capacity", func(s *Scenario) { s.Capacity.HSS = -1 }},
+		{"bad fault kind", func(s *Scenario) { s.Faults[0].Kind = "meltdown" }},
+		{"bad fault nf", func(s *Scenario) { s.Faults[0].NF = "AMF2" }},
+		{"reattach with nf", func(s *Scenario) { s.Faults[3].NF = "MME" }},
+		{"weak slowdown", func(s *Scenario) { s.Faults[1].Factor = 1 }},
+		{"zero fault duration", func(s *Scenario) { s.Faults[2].DurationMin = 0 }},
+		{"bad fraction", func(s *Scenario) { s.Faults[3].Fraction = 0 }},
+	}
+	for _, c := range cases {
+		s := testScenario()
+		c.mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if err := testScenario().Validate(); err != nil {
+		t.Fatalf("base scenario invalid: %v", err)
+	}
+}
+
+func TestTimeMapping(t *testing.T) {
+	s := testScenario()
+	if s.Offset() != 18*cp.Hour {
+		t.Fatalf("Offset = %d", s.Offset())
+	}
+	if s.Duration() != 30*cp.Minute {
+		t.Fatalf("Duration = %d", s.Duration())
+	}
+	cfg, err := s.StormConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Faults[0].Start; got != 18*cp.Hour+5*cp.Minute {
+		t.Fatalf("fault start = %d, want offset+5min", got)
+	}
+	if got := cfg.Faults[0].Duration; got != 3*cp.Minute {
+		t.Fatalf("fault duration = %d", got)
+	}
+	if cfg.Capacity[0] != 20 || cfg.Capacity[4] != 5 {
+		t.Fatalf("capacity mapping wrong: %v", cfg.Capacity)
+	}
+	if cfg.Bin != 30*cp.Second || cfg.SAShare != 0.25 {
+		t.Fatal("bin or sa_share mapping wrong")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := testScenario()
+	half := s.Scaled(0.5)
+	if half.Population.UEs != 200 {
+		t.Fatalf("scaled UEs = %d", half.Population.UEs)
+	}
+	if half.Capacity.MME != 10 || half.Capacity.PCRF != 2.5 {
+		t.Fatalf("scaled capacity = %+v", half.Capacity)
+	}
+	if half.Faults[3].Fraction != 0.5 || half.Mobility != s.Mobility {
+		t.Fatal("Scaled must not touch fractions or scales")
+	}
+	if s.Population.UEs != 400 || s.Capacity.MME != 20 {
+		t.Fatal("Scaled mutated the original")
+	}
+	if same := s.Scaled(1); !reflect.DeepEqual(s, same) {
+		t.Fatal("Scaled(1) is not an identical copy")
+	}
+	if tiny := s.Scaled(1e-9); tiny.Population.UEs != 1 {
+		t.Fatal("population floor missing")
+	}
+}
+
+// TestScenarioDeterministicAcrossWorkers pins the suite's headline
+// guarantee: one fault-bearing scenario file plus its seed produces
+// byte-identical traces and storm-propagation reports at any worker
+// count.
+func TestScenarioDeterministicAcrossWorkers(t *testing.T) {
+	s := testScenario()
+	run := func(workers int) ([]byte, []byte) {
+		tr, err := Simulate(s, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tb bytes.Buffer
+		if err := trace.WriteBinaryTrace(&tb, tr); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Storm(s, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rb bytes.Buffer
+		if err := rep.WriteJSON(&rb); err != nil {
+			t.Fatal(err)
+		}
+		return tb.Bytes(), rb.Bytes()
+	}
+	t1, r1 := run(1)
+	t8, r8 := run(8)
+	if !bytes.Equal(t1, t8) {
+		t.Fatal("trace bytes depend on worker count")
+	}
+	if !bytes.Equal(r1, r8) {
+		t.Fatal("storm report bytes depend on worker count")
+	}
+}
+
+func TestStormStampsScenarioName(t *testing.T) {
+	s := testScenario()
+	tr, err := Simulate(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Storm(s, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenario != "unit-test" {
+		t.Fatalf("report scenario = %q", rep.Scenario)
+	}
+	if rep.InjectedAttaches != 200 {
+		t.Fatalf("injected attaches = %d, want 200 (half of 400)", rep.InjectedAttaches)
+	}
+}

@@ -27,6 +27,16 @@ type Options struct {
 	// Mix optionally overrides the device composition (defaults to the
 	// paper's 62.7/24.9/12.4% split).
 	Mix []float64
+	// MobilityScale multiplies every UE's handover rate; 0 means the
+	// calibrated default of 1.0. Scenario files use it to express
+	// mobility level (a highway rush hour is > 1, a stadium crowd < 1).
+	// At exactly 1.0 the multiplication is an IEEE no-op, so default
+	// output stays byte-identical.
+	MobilityScale float64
+	// ActivityScale multiplies every UE's session-arrival rate; 0 means
+	// the calibrated default of 1.0. Same byte-identity property as
+	// MobilityScale.
+	ActivityScale float64
 	// Workers bounds concurrency; 0 means GOMAXPROCS.
 	Workers int
 }
@@ -42,6 +52,12 @@ func resolveMix(opt Options) ([cp.NumDeviceTypes]float64, error) {
 	}
 	if opt.Offset < 0 {
 		return mix, fmt.Errorf("world: Offset must be non-negative")
+	}
+	if opt.MobilityScale < 0 {
+		return mix, fmt.Errorf("world: MobilityScale must be non-negative")
+	}
+	if opt.ActivityScale < 0 {
+		return mix, fmt.Errorf("world: ActivityScale must be non-negative")
 	}
 	if opt.Mix != nil {
 		if len(opt.Mix) != cp.NumDeviceTypes {
@@ -80,12 +96,22 @@ func newUESim(opt Options, mix [cp.NumDeviceTypes]float64, root *stats.RNG, i in
 			break
 		}
 	}
+	actScale := opt.ActivityScale
+	if actScale == 0 {
+		actScale = 1
+	}
+	mobScale := opt.MobilityScale
+	if mobScale == 0 {
+		mobScale = 1
+	}
 	return &ueSim{
-		ue:    cp.UEID(i),
-		p:     &deviceParams[dev],
-		rng:   r,
-		start: opt.Offset,
-		end:   opt.Offset + opt.Duration,
+		ue:       cp.UEID(i),
+		p:        &deviceParams[dev],
+		rng:      r,
+		start:    opt.Offset,
+		end:      opt.Offset + opt.Duration,
+		actScale: actScale,
+		mobScale: mobScale,
 	}, dev
 }
 
@@ -232,6 +258,13 @@ type ueSim struct {
 
 	actMult float64 // per-UE activity level (heavy-tailed)
 	mobMult float64 // per-UE mobility level
+
+	// actScale and mobScale are the scenario-level rate multipliers
+	// (Options.ActivityScale / MobilityScale, resolved to 1 when unset).
+	// They are applied as the last factor of each rate product, so at
+	// exactly 1.0 the product — and the whole trace — is unchanged.
+	actScale float64
+	mobScale float64
 
 	burstOn    bool
 	burstUntil float64 // seconds
@@ -380,7 +413,7 @@ func (u *ueSim) connectedPhase(tSec float64) float64 {
 	}
 	endConn := tSec + dur
 	h := cp.MillisFromSeconds(tSec).HourOfDay()
-	hoRate := p.hoRate * p.mobility[h] * u.mobMult * weekendFactor(p, tSec)
+	hoRate := p.hoRate * p.mobility[h] * u.mobMult * weekendFactor(p, tSec) * u.mobScale
 	t := tSec
 	if hoRate > 0 {
 		for {
@@ -428,7 +461,7 @@ func (u *ueSim) sessionWait(tSec float64) float64 {
 		if u.burstOn {
 			factor = p.hiFactor
 		}
-		rate := p.sessRate * p.diurnal[h] * u.actMult * factor * weekendFactor(p, t)
+		rate := p.sessRate * p.diurnal[h] * u.actMult * factor * weekendFactor(p, t) * u.actScale
 		segEnd := math.Min(nextHourBoundary(t), u.burstUntil)
 		if rate <= 1e-12 {
 			t = segEnd

@@ -345,3 +345,47 @@ func TestNewSourceValidates(t *testing.T) {
 		t.Fatal("short Mix accepted")
 	}
 }
+
+func TestScaleOneIsIdentity(t *testing.T) {
+	// An explicit scale of exactly 1.0 multiplies every rate by an IEEE
+	// no-op, so the trace must be byte-identical to the unscaled default.
+	base := genWorld(t, 150, 4*cp.Hour, 11)
+	scaled, err := Generate(Options{
+		NumUEs: 150, Duration: 4 * cp.Hour, Seed: 11,
+		MobilityScale: 1.0, ActivityScale: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Events, scaled.Events) {
+		t.Fatal("scale 1.0 changed the trace")
+	}
+}
+
+func TestScalesMoveTheRates(t *testing.T) {
+	base := genWorld(t, 300, 6*cp.Hour, 12)
+	mobile, err := Generate(Options{
+		NumUEs: 300, Duration: 6 * cp.Hour, Seed: 12, MobilityScale: 4.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bh, mh := base.CountByType()[cp.Handover], mobile.CountByType()[cp.Handover]; mh <= bh {
+		t.Errorf("MobilityScale=4 did not raise handovers: %d -> %d", bh, mh)
+	}
+	busy, err := Generate(Options{
+		NumUEs: 300, Duration: 6 * cp.Hour, Seed: 12, ActivityScale: 3.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs, as := base.CountByType()[cp.ServiceRequest], busy.CountByType()[cp.ServiceRequest]; as <= bs {
+		t.Errorf("ActivityScale=3 did not raise service requests: %d -> %d", bs, as)
+	}
+	if _, err := Generate(Options{NumUEs: 10, Duration: cp.Hour, MobilityScale: -1}); err == nil {
+		t.Error("negative MobilityScale accepted")
+	}
+	if _, err := Generate(Options{NumUEs: 10, Duration: cp.Hour, ActivityScale: -1}); err == nil {
+		t.Error("negative ActivityScale accepted")
+	}
+}

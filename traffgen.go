@@ -37,6 +37,8 @@ import (
 	"cptraffic/internal/core"
 	"cptraffic/internal/cp"
 	"cptraffic/internal/fiveg"
+	"cptraffic/internal/mcn"
+	"cptraffic/internal/scenario"
 	"cptraffic/internal/trace"
 	"cptraffic/internal/world"
 )
@@ -216,6 +218,40 @@ func GenerateTo(ms *Model, opt GenOptions, sink EventSink) error {
 		return err
 	}
 	return trace.Copy(sink, src)
+}
+
+// Scenario is a parsed scenario/1 file: a named, versioned description
+// of a population, its diurnal placement, the 4G/5G split, optional
+// per-NF capacities, and a timed fault schedule. The normative field
+// reference is SCENARIOS.md.
+type Scenario = scenario.Scenario
+
+// StormReport is the storm-propagation report of one scenario replay:
+// per-NF queue depth, drop and retry counts, and attach latency as
+// time series.
+type StormReport = mcn.StormReport
+
+// LoadScenario reads, strictly parses, and validates a scenario/1
+// file. Unknown fields and unknown schema versions are rejected.
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// ParseScenario reads a scenario/1 document from r (see LoadScenario).
+func ParseScenario(r io.Reader) (*Scenario, error) { return scenario.Parse(r) }
+
+// SimulateScenario generates the scenario's ground-truth trace through
+// the behavioral world simulator. The same scenario file and seed
+// produce a byte-identical trace at any worker count (0 means
+// GOMAXPROCS).
+func SimulateScenario(s *Scenario, workers int) (*Trace, error) {
+	return scenario.Simulate(s, workers)
+}
+
+// RunStorm replays a trace through the scenario's fault schedule in
+// the NF queueing model and returns the storm-propagation report. The
+// report serializes deterministically: identical scenario + trace
+// inputs yield identical bytes.
+func RunStorm(s *Scenario, tr *Trace) (*StormReport, error) {
+	return scenario.Storm(s, tr)
 }
 
 // 5G handover scaling factors (paper §6 and §8.2).
