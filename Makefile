@@ -8,9 +8,9 @@ GO ?= go
 
 RACE_PKGS = ./internal/par/ ./internal/trace/ ./internal/core/ ./internal/world/ ./internal/eval/ ./internal/experiments/
 
-.PHONY: check fmt vet build lint fix test race allocs scenarios audit bench experiments
+.PHONY: check fmt vet build lint fix test race allocs scenarios shardcheck audit bench experiments
 
-check: fmt vet build lint test race allocs scenarios
+check: fmt vet build lint test race allocs scenarios shardcheck
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -56,6 +56,13 @@ allocs:
 # selftest (1 vs 8 workers) for each file in scenarios/.
 scenarios:
 	$(GO) run ./cmd/stormsim -selftest -scale 0.05 scenarios/*.json
+
+# End-to-end sharded-fit contract through the real binaries: fit a
+# small world trace as four hash shards, merge the partialfit/1 files
+# in a shuffled order, resume a checkpoint — every product must be
+# byte-identical to the unsharded fit.
+shardcheck:
+	scripts/shardcheck.sh
 
 # Third-party audits (staticcheck + govulncheck) at pinned versions;
 # skipped with a warning when the tools are absent and cannot be

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"cptraffic/internal/cluster"
 	"cptraffic/internal/core"
@@ -356,6 +357,133 @@ func BenchmarkFitStream(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFitSharded measures the shard/merge fit on the
+// BenchmarkModelFit workload: each op fits N hash shards concurrently
+// and merges the partials into the model, which is byte-identical to
+// the unsharded fit (TestShardedFitMatchesUnsharded). shards=1 is the
+// PartialFit driver without sharding, for the refactor's baseline cost.
+func BenchmarkFitSharded(b *testing.B) {
+	tr, err := world.Generate(world.Options{NumUEs: 400, Duration: cp.Day, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.FitOptions{Cluster: cluster.Options{ThetaN: 40}}
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				parts := make([]*core.PartialFit, shards)
+				errs := make([]error, shards)
+				var wg sync.WaitGroup
+				for s := 0; s < shards; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						pf, err := core.NewPartialFit(opt)
+						if err != nil {
+							errs[s] = err
+							return
+						}
+						src, err := trace.ShardSource(tr, shards, s)
+						if err != nil {
+							errs[s] = err
+							return
+						}
+						if err := pf.AddSource(src); err != nil {
+							errs[s] = err
+							return
+						}
+						parts[s] = pf
+					}(s)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				for s := 1; s < shards; s++ {
+					if err := parts[0].Merge(parts[s]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := parts[0].Build(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFitSketched compares bounded-memory mode (every sample pool
+// capped at SketchK items by a mergeable bottom-k sketch) against the
+// exact streamed fit on the same workload, reporting the peak heap
+// growth per fit — the quantity SketchK exists to cap.
+func BenchmarkFitSketched(b *testing.B) {
+	tr, err := world.Generate(world.Options{NumUEs: 400, Duration: cp.Day, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name string
+		k    int
+	}{{"exact", 0}, {"sketched-k=256", 256}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var peak uint64
+			for i := 0; i < b.N; i++ {
+				p := fitPeakHeap(b, tr, core.FitOptions{
+					Cluster: cluster.Options{ThetaN: 40}, SketchK: cfg.k, Workers: 1,
+				})
+				if p > peak {
+					peak = p
+				}
+			}
+			b.ReportMetric(float64(peak)/(1<<20), "peak-heap-MB")
+		})
+	}
+}
+
+// fitPeakHeap runs one streamed fit under a heap sampler and returns
+// the peak live-heap growth over the pre-fit baseline.
+func fitPeakHeap(b *testing.B, tr *trace.Trace, opt core.FitOptions) uint64 {
+	b.Helper()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+	var peak uint64
+	done := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	if _, err := core.FitStream(tr, opt); err != nil {
+		b.Fatal(err)
+	}
+	close(done)
+	<-sampled
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > peak {
+		peak = ms.HeapAlloc
+	}
+	if peak < base {
+		return 0
+	}
+	return peak - base
 }
 
 // BenchmarkScanner measures the incremental binary-trace decoder's

@@ -7,11 +7,26 @@
 //	fitmodel -method ours -thetan 100 -i world.trace -o model.json
 //	fitmodel -stream -i big.trace -o model.json
 //
-// With -stream the trace file is scanned incrementally (two passes)
-// instead of loaded, so peak memory is bounded by the per-UE sample
-// accumulators rather than the event list; the fitted model is
-// byte-identical. -stream requires a file path (-i -, stdin, is not
-// re-readable).
+// Sharded fits split the UE population by hash so each worker fits a
+// disjoint slice; merging the partials reproduces the unsharded model
+// byte-for-byte, whatever the merge order (see PARTIALFIT.md):
+//
+//	fitmodel -shards 4 -shard 0 -i big.trace -partial part-0.json   # × 4
+//	fitmodel -merge part-0.json,part-1.json,part-2.json,part-3.json -o model.json
+//
+// Long fits can checkpoint and resume; the resumed model is identical
+// to an uninterrupted one:
+//
+//	fitmodel -i big.trace -checkpoint-every 1e6 -partial ckpt.json -o model.json
+//	fitmodel -resume ckpt.json -i big.trace -o model.json
+//
+// With -stream the trace file is scanned incrementally instead of
+// loaded, so peak memory is bounded by the retained samples rather than
+// the event list; the fitted model is byte-identical. -sketch k bounds
+// the retained samples too (mergeable quantile sketches; the model then
+// differs from the exact one within a documented quantile error).
+// Sharding, resuming, and checkpointing always stream and therefore
+// need a file path (-i -, stdin, is not re-readable).
 package main
 
 import (
@@ -19,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"cptraffic/internal/baseline"
 	"cptraffic/internal/cluster"
@@ -38,6 +54,13 @@ func main() {
 		thetaF  = flag.Float64("thetaf", 5, "adaptive clustering θf (feature similarity)")
 		workers = flag.Int("workers", 0, "fitting worker count (0 = all CPUs); never changes the model")
 		stream  = flag.Bool("stream", false, "fit by scanning the trace file incrementally (bounded memory, identical model)")
+		sketch  = flag.Int("sketch", 0, "bound every sample pool to a k-item mergeable sketch (0 = exact)")
+		shards  = flag.Int("shards", 1, "split the UE population into this many hash shards")
+		shard   = flag.Int("shard", 0, "fit this shard (0-based; requires -shards > 1)")
+		partial = flag.String("partial", "", "write the partial-fit state (partialfit/1) here instead of building a model")
+		merge   = flag.String("merge", "", "comma-separated partial-fit files to merge and build")
+		resume  = flag.String("resume", "", "resume from this partial-fit checkpoint (options come from the checkpoint)")
+		ckptEv  = flag.Float64("checkpoint-every", 0, "checkpoint to -partial every N consumed events")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -61,6 +84,16 @@ func main() {
 		log.Fatal(err)
 	}
 	opt.Workers = *workers
+	opt.SketchK = *sketch
+
+	if *merge != "" {
+		mergePartials(strings.Split(*merge, ","), *out)
+		return
+	}
+	if *shards > 1 || *resume != "" || *partial != "" || *ckptEv > 0 {
+		runPartial(opt, *in, *out, *shards, *shard, *partial, *resume, int64(*ckptEv))
+		return
+	}
 
 	var ms *core.ModelSet
 	var nUEs, nEvents int
@@ -102,9 +135,162 @@ func main() {
 		nUEs, nEvents = tr.NumUEs(), tr.Len()
 	}
 
+	saveModel(ms, *out)
+	if *stream {
+		fmt.Fprintf(os.Stderr, "fitmodel: method=%s machine=%s models=%d (streamed from %d UEs)\n",
+			ms.Method, ms.MachineName, ms.NumModels(), nUEs)
+	} else {
+		fmt.Fprintf(os.Stderr, "fitmodel: method=%s machine=%s models=%d (from %d UEs, %d events)\n",
+			ms.Method, ms.MachineName, ms.NumModels(), nUEs, nEvents)
+	}
+}
+
+// runPartial drives the shard / checkpoint / resume workflows: stream
+// the (optionally sharded) trace into a PartialFit, then either write
+// the partial state or build the model.
+func runPartial(opt core.FitOptions, in, out string, shards, shard int, partialOut, resume string, every int64) {
+	if in == "-" {
+		log.Fatal("sharded, resumed, and checkpointed fits stream the trace and need a file path, not stdin")
+	}
+	if shards > 1 && (shard < 0 || shard >= shards) {
+		log.Fatalf("-shard %d out of range for -shards %d", shard, shards)
+	}
+	if every > 0 && partialOut == "" {
+		log.Fatal("-checkpoint-every needs -partial to know where to write checkpoints")
+	}
+
+	var pf *core.PartialFit
+	var err error
+	if resume != "" {
+		f, err := os.Open(resume)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pf, err = core.DecodePartial(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fitmodel: resuming after %d consumed events (%d UEs)\n",
+			pf.EventsConsumed(), pf.NumUEs())
+	} else {
+		pf, err = core.NewPartialFit(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var src trace.EventSource
+	if src, err = trace.NewFileSource(in); err != nil {
+		log.Fatal(err)
+	}
+	if shards > 1 {
+		if src, err = trace.ShardSource(src, shards, shard); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var checkpoint func(int64) error
+	if every > 0 {
+		checkpoint = func(consumed int64) error {
+			if err := writePartial(pf, partialOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "fitmodel: checkpointed %s at %d events\n", partialOut, consumed)
+			return nil
+		}
+	}
+	if err := pf.AddSourceWithCheckpoints(src, every, checkpoint); err != nil {
+		log.Fatal(err)
+	}
+
+	if partialOut != "" && out == "-" {
+		// Partial-only run: persist the state, build nothing.
+		if err := writePartial(pf, partialOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fitmodel: wrote partial fit %s (%d UEs, %d events)\n",
+			partialOut, pf.NumUEs(), pf.EventsConsumed())
+		return
+	}
+	if partialOut != "" {
+		if err := writePartial(pf, partialOut); err != nil {
+			log.Fatal(err)
+		}
+	}
+	nUEs, nEvents := pf.NumUEs(), pf.EventsConsumed()
+	ms, err := pf.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	saveModel(ms, out)
+	fmt.Fprintf(os.Stderr, "fitmodel: method=%s machine=%s models=%d (from %d UEs, %d events)\n",
+		ms.Method, ms.MachineName, ms.NumModels(), nUEs, nEvents)
+}
+
+// mergePartials loads the named partial fits, merges them, and writes
+// the built model. The CLI fitting flags are ignored: the partials
+// carry their own options and must agree among themselves.
+func mergePartials(paths []string, out string) {
+	var root *core.PartialFit
+	for _, p := range paths {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pf, err := core.DecodePartial(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", p, err)
+		}
+		if root == nil {
+			root = pf
+			continue
+		}
+		if err := root.Merge(pf); err != nil {
+			log.Fatalf("%s: %v", p, err)
+		}
+	}
+	if root == nil {
+		log.Fatal("-merge needs at least one partial-fit file")
+	}
+	nUEs := root.NumUEs()
+	ms, err := root.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	saveModel(ms, out)
+	fmt.Fprintf(os.Stderr, "fitmodel: method=%s machine=%s models=%d (merged %d partials, %d UEs)\n",
+		ms.Method, ms.MachineName, ms.NumModels(), len(paths), nUEs)
+}
+
+// writePartial encodes pf to path atomically (temp file + rename), so a
+// kill mid-checkpoint never leaves a truncated checkpoint behind.
+func writePartial(pf *core.PartialFit, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := pf.Encode(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func saveModel(ms *core.ModelSet, out string) {
 	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
+	if out != "-" {
+		f, err := os.Create(out)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -117,12 +303,5 @@ func main() {
 	}
 	if err := ms.Save(w); err != nil {
 		log.Fatal(err)
-	}
-	if *stream {
-		fmt.Fprintf(os.Stderr, "fitmodel: method=%s machine=%s models=%d (streamed from %d UEs)\n",
-			ms.Method, ms.MachineName, ms.NumModels(), nUEs)
-	} else {
-		fmt.Fprintf(os.Stderr, "fitmodel: method=%s machine=%s models=%d (from %d UEs, %d events)\n",
-			ms.Method, ms.MachineName, ms.NumModels(), nUEs, nEvents)
 	}
 }

@@ -155,6 +155,68 @@ func ExampleAdaptToSA() {
 	// TAU events: 0
 }
 
+// ExamplePartialFit shards a fit across the UE population: each shard
+// ingests its hash slice of the trace independently (in a separate
+// process or machine, normally — checkpoints travel as partialfit/1
+// JSON), and merging the partials rebuilds the exact unsharded model,
+// byte for byte. One shard takes a detour through Encode/LoadPartialFit
+// to show that checkpoints preserve the fit exactly.
+func ExamplePartialFit() {
+	world, err := cptraffic.SimulateWorld(cptraffic.WorldOptions{
+		NumUEs: 200, Duration: 2 * cptraffic.Hour, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := cptraffic.FitOptions{Method: "ours", Cluster: cptraffic.ClusterOptions{ThetaN: 25}}
+
+	const shards = 2
+	parts := make([]*cptraffic.PartialFit, shards)
+	for s := range parts {
+		pf, err := cptraffic.NewPartialFit(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src, err := cptraffic.ShardSource(world, shards, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pf.AddSource(src); err != nil {
+			log.Fatal(err)
+		}
+		parts[s] = pf
+	}
+
+	// Round-trip shard 1 through its serialized checkpoint form.
+	var ckpt bytes.Buffer
+	if err := parts[1].Encode(&ckpt); err != nil {
+		log.Fatal(err)
+	}
+	restored, err := cptraffic.LoadPartialFit(&ckpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	merged, err := cptraffic.MergeFits(parts[0], restored)
+	if err != nil {
+		log.Fatal(err)
+	}
+	unsharded, err := cptraffic.Fit(world, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := merged.Save(&a); err != nil {
+		log.Fatal(err)
+	}
+	if err := unsharded.Save(&b); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("byte-identical to unsharded fit:", bytes.Equal(a.Bytes(), b.Bytes()))
+	// Output:
+	// byte-identical to unsharded fit: true
+}
+
 // ExampleMethods lists the Table 3 modeling methods.
 func ExampleMethods() {
 	fmt.Println(cptraffic.Methods())

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// collectPartialJSONFields walks a codec struct type and appends every
+// json field name the partialfit/1 codec consumes, recursing through
+// pointers, slices, and nested structs. Append order follows struct
+// declaration order, so the result is deterministic.
+func collectPartialJSONFields(t reflect.Type, out []string) []string {
+	for t.Kind() == reflect.Pointer || t.Kind() == reflect.Slice {
+		t = t.Elem()
+	}
+	if t.Kind() != reflect.Struct {
+		return out
+	}
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		tag := f.Tag.Get("json")
+		if tag == "" || tag == "-" {
+			continue
+		}
+		name := tag
+		if c := strings.IndexByte(tag, ','); c >= 0 {
+			name = tag[:c]
+		}
+		if name != "" {
+			out = append(out, name)
+		}
+		out = collectPartialJSONFields(f.Type, out)
+	}
+	return out
+}
+
+// TestPartialSpecDocumentsEveryField pins PARTIALFIT.md to the codec:
+// every json field of the partialfit/1 struct tree must appear
+// (backticked) in the normative spec, so the spec cannot silently drift
+// behind the code.
+func TestPartialSpecDocumentsEveryField(t *testing.T) {
+	md, err := os.ReadFile("../../PARTIALFIT.md")
+	if err != nil {
+		t.Fatalf("PARTIALFIT.md missing: %v", err)
+	}
+	spec := string(md)
+	fields := collectPartialJSONFields(reflect.TypeOf(partialFile{}), nil)
+	if len(fields) < 30 {
+		t.Fatalf("field walk found only %d fields — walker broken?", len(fields))
+	}
+	for _, n := range fields {
+		if !strings.Contains(spec, "`"+n+"`") {
+			t.Errorf("PARTIALFIT.md does not document field `%s`", n)
+		}
+	}
+	// The pool kind vocabulary is part of the format too.
+	for _, kind := range poolKindNames {
+		if !strings.Contains(spec, "`"+kind+"`") {
+			t.Errorf("PARTIALFIT.md does not document pool kind `%s`", kind)
+		}
+	}
+	if !strings.Contains(spec, "`"+PartialFormatV1+"`") {
+		t.Errorf("PARTIALFIT.md does not name the format tag `%s`", PartialFormatV1)
+	}
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 
 	"cptraffic/internal/cluster"
@@ -38,6 +37,14 @@ type FitOptions struct {
 	// pool deterministically and merged in serial order (DESIGN.md
 	// decision 2, the same discipline as GenOptions.Workers).
 	Workers int
+	// SketchK, when positive, puts the fit in bounded-memory mode: every
+	// sojourn/inter-arrival sample pool keeps at most SketchK
+	// observations in a mergeable bottom-k sketch (stats.Sketch) instead
+	// of an exact list, with quantile error bounded by
+	// stats.SketchErrorBound(SketchK). Sketched fits remain
+	// byte-deterministic — and byte-identical sharded vs unsharded — but
+	// intentionally diverge from SketchK == 0 (exact) fits.
+	SketchK int
 }
 
 func (o FitOptions) withDefaults() FitOptions {
@@ -61,34 +68,11 @@ const HoursPerDay = 24
 // (hour-of-day, device type), and fits transition probabilities, sojourn
 // distributions, free processes, and first-event models for every
 // (cluster, hour, device type) combination.
+//
+// Fit is a thin driver over PartialFit — the one construction path all
+// fits share: NewPartialFit, one AddSource over the trace, Build.
 func Fit(tr *trace.Trace, opt FitOptions) (*ModelSet, error) {
-	opt = opt.withDefaults()
-	if tr.NumUEs() == 0 {
-		return nil, fmt.Errorf("core: cannot fit an empty trace")
-	}
-	_, hi := tr.Span()
-	days := int((hi + cp.Day - 1) / cp.Day)
-	if days < 1 {
-		days = 1
-	}
-	ms := &ModelSet{
-		MachineName: opt.Machine.Name,
-		Method:      opt.Method,
-		Devices:     make([]*DeviceModel, cp.NumDeviceTypes),
-	}
-	total := tr.NumUEs()
-	for _, d := range cp.DeviceTypes {
-		dm, n, err := fitDevice(tr, d, days, opt)
-		if err != nil {
-			return nil, err
-		}
-		if dm != nil {
-			dm.Share = float64(n) / float64(total)
-			dm.TrainUEs = n
-			ms.Devices[d] = dm
-		}
-	}
-	return ms, nil
+	return fitSource(tr, opt)
 }
 
 // --- per-UE extraction ---
@@ -408,80 +392,6 @@ func newAcc() *acc {
 	}
 }
 
-// addUEHour folds the hour-h samples of one UE into the accumulator.
-func (a *acc) addUEHour(d *ueData, h int, days int) {
-	a.NumUEs++
-	a.Cells += days
-	for _, s := range d.Top {
-		if int(s.Hour) != h {
-			continue
-		}
-		a.TopCount[s.Key]++
-		if s.Has {
-			a.TopSoj[s.Key] = append(a.TopSoj[s.Key], s.Soj)
-		}
-	}
-	for _, s := range d.Bot {
-		if int(s.Hour) != h {
-			continue
-		}
-		a.BotCount[s.Key]++
-		if s.Has {
-			a.BotSoj[s.Key] = append(a.BotSoj[s.Key], s.Soj)
-		}
-	}
-	for _, s := range d.BotCensor {
-		if int(s.Hour) != h {
-			continue
-		}
-		a.BotCensor[s.S] = append(a.BotCensor[s.S], s.Dur)
-	}
-	for _, s := range d.Free {
-		if int(s.Hour) != h {
-			continue
-		}
-		a.FreeIA[s.E] = append(a.FreeIA[s.E], s.IA)
-	}
-	for _, f := range d.First {
-		if int(f.Hour) != h {
-			continue
-		}
-		a.WithEv++
-		a.FirstCnt[firstCatKey{E: f.E, S: f.State}]++
-		a.FirstOff = append(a.FirstOff, f.Off)
-	}
-}
-
-// addUEAll folds every hour of one UE into the accumulator (used for the
-// hour-agnostic global fallback model).
-func (a *acc) addUEAll(d *ueData, days int) {
-	a.NumUEs++
-	a.Cells += days * HoursPerDay
-	for _, s := range d.Top {
-		a.TopCount[s.Key]++
-		if s.Has {
-			a.TopSoj[s.Key] = append(a.TopSoj[s.Key], s.Soj)
-		}
-	}
-	for _, s := range d.Bot {
-		a.BotCount[s.Key]++
-		if s.Has {
-			a.BotSoj[s.Key] = append(a.BotSoj[s.Key], s.Soj)
-		}
-	}
-	for _, s := range d.BotCensor {
-		a.BotCensor[s.S] = append(a.BotCensor[s.S], s.Dur)
-	}
-	for _, s := range d.Free {
-		a.FreeIA[s.E] = append(a.FreeIA[s.E], s.IA)
-	}
-	for _, f := range d.First {
-		a.WithEv++
-		a.FirstCnt[firstCatKey{E: f.E, S: f.State}]++
-		a.FirstOff = append(a.FirstOff, f.Off)
-	}
-}
-
 // build converts an accumulator into a ClusterModel.
 func (a *acc) build(m *sm.Machine, opt FitOptions) ClusterModel {
 	cm := ClusterModel{
@@ -617,72 +527,7 @@ func sortTransitions(out []TransitionParam) {
 	sort.Slice(out, func(i, j int) bool { return out[i].Event < out[j].Event })
 }
 
-// --- device-level fitting ---
-
-func fitDevice(tr *trace.Trace, d cp.DeviceType, days int, opt FitOptions) (*DeviceModel, int, error) {
-	ues := tr.UEsOfType(d)
-	if len(ues) == 0 {
-		return nil, 0, nil
-	}
-	sub := tr.FilterDevice(d)
-	perUE := sub.PerUE()
-
-	// Pass 1: extract per-UE samples and features. The UEs are
-	// independent; data[i] is written by exactly one worker, so the
-	// layout matches the serial loop for any worker count.
-	data := make([]*ueData, len(ues))
-	par.For(len(ues), opt.Workers, func(i int) {
-		ue := ues[i]
-		evs := perUE[ue]
-		sort.Slice(evs, func(a, b int) bool { return evs[a].Before(evs[b]) })
-		data[i] = extractUE(opt.Machine, ue, evs)
-	})
-
-	// Pass 2: cluster per hour-of-day.
-	assignments, numClusters, weights := clusterHours(ues, opt, func(i, h int) cluster.Features {
-		return featuresAt(data[i], h, days)
-	})
-
-	// Pass 3: personas (deduplicated per-UE cluster-membership vectors).
-	personas := buildPersonas(ues, assignments)
-
-	// Pass 4: accumulate samples per (hour, cluster) and fallbacks.
-	// Each hour folds its UEs in ascending order into its own
-	// accumulators and writes only dm.Hours[h], so the pooled sample
-	// orders — and therefore the fitted quantile tables — are identical
-	// to the serial ones.
-	dm := &DeviceModel{
-		Personas: personas,
-		Hours:    make([]HourModel, HoursPerDay),
-	}
-	global := newAcc()
-	par.For(HoursPerDay, opt.Workers, func(h int) {
-		accs := make([]*acc, numClusters[h])
-		for c := range accs {
-			accs[c] = newAcc()
-		}
-		agg := newAcc()
-		for i, ue := range ues {
-			c := assignments[h][ue]
-			accs[c].addUEHour(data[i], h, days)
-			agg.addUEHour(data[i], h, days)
-		}
-		hm := &dm.Hours[h]
-		hm.Clusters = make([]ClusterModel, numClusters[h])
-		for c := range accs {
-			hm.Clusters[c] = accs[c].build(opt.Machine, opt)
-		}
-		a := agg.build(opt.Machine, opt)
-		hm.Aggregate = &a
-		hm.Weights = weights[h]
-	})
-	for i := range ues {
-		global.addUEAll(data[i], days)
-	}
-	g := global.build(opt.Machine, opt)
-	dm.Global = &g
-	return dm, len(ues), nil
-}
+// --- clustering ---
 
 // clusterHours partitions a device type's UEs per hour-of-day, with
 // featAt supplying the clustering features of UE index i at hour h. Hours
@@ -715,31 +560,6 @@ func clusterHours(ues []cp.UEID, opt FitOptions, featAt func(i, h int) cluster.F
 		weights[h] = cluster.Weights(cs)
 	})
 	return assignments, numClusters, weights
-}
-
-// featuresAt computes the clustering features of one UE for hour h:
-// per-day average SRV_REQ and S1_CONN_REL counts and the standard
-// deviations of its CONNECTED and IDLE sojourns in that hour (§5.3).
-func featuresAt(d *ueData, h, days int) cluster.Features {
-	var conn, idle []float64
-	for _, s := range d.Top {
-		if int(s.Hour) != h || !s.Has {
-			continue
-		}
-		switch s.Key.S {
-		case cp.StateConnected:
-			conn = append(conn, s.Soj)
-		case cp.StateIdle:
-			idle = append(idle, s.Soj)
-		default: // DEREGISTERED sojourns are not clustering features (§5.3)
-		}
-	}
-	return cluster.Features{
-		cluster.FSrvReqCount: float64(d.Counts[h][cp.ServiceRequest]) / float64(days),
-		cluster.FConnStd:     stats.StdDev(conn),
-		cluster.FS1RelCount:  float64(d.Counts[h][cp.S1ConnRelease]) / float64(days),
-		cluster.FIdleStd:     stats.StdDev(idle),
-	}
 }
 
 // buildPersonas deduplicates per-UE cluster-membership vectors into

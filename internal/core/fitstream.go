@@ -1,519 +1,21 @@
 package core
 
 import (
-	"fmt"
-	"sort"
-
-	"cptraffic/internal/cluster"
-	"cptraffic/internal/cp"
-	"cptraffic/internal/par"
-	"cptraffic/internal/sm"
-	"cptraffic/internal/stats"
 	"cptraffic/internal/trace"
 )
 
 // FitStream fits the same model as Fit from an EventSource without ever
-// materializing the trace: the source is scanned twice (features, then
-// sample accumulation), per-UE state is a small extractor, and samples
-// flow straight into per-(hour, device, cluster) accumulators. Peak
-// memory is O(UEs + retained sojourn samples) instead of O(trace): the
-// event slice, the per-UE event groups, and the per-UE sample slices of
-// the in-memory path are never built.
+// materializing the trace: the source is scanned once, per-UE state is
+// a small extractor, and every sample flows straight into the
+// PartialFit's tagged pools. Peak memory is O(UEs + retained samples)
+// instead of O(trace): the event slice and per-UE event groups of the
+// in-memory path are never built, and with FitOptions.SketchK > 0 the
+// retained-sample term is bounded too.
 //
 // The output is byte-identical to Fit on the collected trace for the
-// same options (enforced by TestFitStreamMatchesInMemory). The exactness
-// discipline: every float that enters a reduction does so in exactly the
-// serial fold order — time-interleaved samples are tagged with the UE's
-// rank and stably sorted back to (UE, event-order) before fitting, and
-// clustering/build run the same code as the in-memory path. Lossy
-// bounded-sample sketches (reservoirs, quantile digests) are therefore
-// out of scope here; they belong to a separate approximate mode.
+// same options (enforced by TestFitStreamMatchesInMemory): both are the
+// same thin driver over PartialFit, whose (UE, seq) sample tags restore
+// the serial fold order before any float reduction.
 func FitStream(src trace.EventSource, opt FitOptions) (*ModelSet, error) {
-	opt = opt.withDefaults()
-
-	// Registry pass: per-device UE lists in ascending order (the Devices
-	// contract), matching Trace.UEsOfType.
-	var ues [cp.NumDeviceTypes][]cp.UEID
-	devOf := make(map[cp.UEID]cp.DeviceType)
-	rank := make(map[cp.UEID]int32)
-	total := 0
-	err := src.Devices(func(ue cp.UEID, d cp.DeviceType) error {
-		if !d.Valid() {
-			return fmt.Errorf("core: invalid device type %d for UE %d", d, ue)
-		}
-		if _, dup := devOf[ue]; dup {
-			return fmt.Errorf("core: UE %d registered twice", ue)
-		}
-		devOf[ue] = d
-		rank[ue] = int32(len(ues[d]))
-		ues[d] = append(ues[d], ue)
-		total++
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	if total == 0 {
-		return nil, fmt.Errorf("core: cannot fit an empty trace")
-	}
-
-	// Pass A: per-UE clustering features plus the trace span.
-	var feats [cp.NumDeviceTypes][]*featureSink
-	for _, d := range cp.DeviceTypes {
-		if len(ues[d]) > 0 {
-			feats[d] = make([]*featureSink, len(ues[d]))
-		}
-	}
-	var hi cp.Millis
-	err = scanPerUE(src, opt.Machine, func(ue cp.UEID) (sampleSink, error) {
-		d, ok := devOf[ue]
-		if !ok {
-			return nil, fmt.Errorf("core: event for unregistered UE %d", ue)
-		}
-		fs := &featureSink{}
-		feats[d][rank[ue]] = fs
-		return fs, nil
-	}, func(e trace.Event) {
-		if e.T > hi {
-			hi = e.T
-		}
-	}, ues)
-	if err != nil {
-		return nil, err
-	}
-	days := int((hi + cp.Day - 1) / cp.Day)
-	if days < 1 {
-		days = 1
-	}
-
-	// Clustering and personas: identical code to the in-memory path.
-	var states [cp.NumDeviceTypes]*devStream
-	for _, d := range cp.DeviceTypes {
-		if len(ues[d]) == 0 {
-			continue
-		}
-		du := ues[d]
-		df := feats[d]
-		assignments, numClusters, weights := clusterHours(du, opt, func(i, h int) cluster.Features {
-			return df[i].features(h, days)
-		})
-		states[d] = newDevStream(du, assignments, numClusters, weights, days, opt)
-		feats[d] = nil // pass-A sample lists are dead once clustered
-	}
-
-	// Pass B: route every sample into its (hour, cluster) accumulators.
-	err = scanPerUE(src, opt.Machine, func(ue cp.UEID) (sampleSink, error) {
-		d, ok := devOf[ue]
-		if !ok {
-			return nil, fmt.Errorf("core: event for unregistered UE %d", ue)
-		}
-		return &streamSink{ue: ue, rank: rank[ue], dev: states[d]}, nil
-	}, nil, ues)
-	if err != nil {
-		return nil, err
-	}
-
-	// Build: finalize accumulators and fit, device by device.
-	ms := &ModelSet{
-		MachineName: opt.Machine.Name,
-		Method:      opt.Method,
-		Devices:     make([]*DeviceModel, cp.NumDeviceTypes),
-	}
-	for _, d := range cp.DeviceTypes {
-		st := states[d]
-		if st == nil {
-			continue
-		}
-		dm := st.build(opt)
-		n := len(ues[d])
-		dm.Share = float64(n) / float64(total)
-		dm.TrainUEs = n
-		ms.Devices[d] = dm
-	}
-	return ms, nil
-}
-
-// scanPerUE runs one full scan of the source, demultiplexing the
-// canonical time-ordered stream into per-UE extractors (created lazily
-// via newSink on a UE's first event) and finishing them in ascending UE
-// order afterwards. onEvent, when non-nil, observes every raw event.
-func scanPerUE(src trace.EventSource, m *sm.Machine, newSink func(cp.UEID) (sampleSink, error), onEvent func(trace.Event), ues [cp.NumDeviceTypes][]cp.UEID) error {
-	exts := make(map[cp.UEID]*ueExtractor)
-	err := src.Scan(func(e trace.Event) error {
-		if onEvent != nil {
-			onEvent(e)
-		}
-		x := exts[e.UE]
-		if x == nil {
-			sink, err := newSink(e.UE)
-			if err != nil {
-				return err
-			}
-			x = newUEExtractor(m, sink)
-			exts[e.UE] = x
-		}
-		x.push(e)
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	// Deterministic finish order; a UE whose stream had no Category-1
-	// event flushes its buffered samples here.
-	for _, d := range cp.DeviceTypes {
-		for _, ue := range ues[d] {
-			if x := exts[ue]; x != nil {
-				x.finish()
-			}
-		}
-	}
-	return nil
-}
-
-// featureSink retains only what featuresAt needs: per-hour SRV_REQ and
-// S1_CONN_REL counts and the CONNECTED/IDLE sojourn samples, in the same
-// order the per-UE extraction emits them.
-type featureSink struct {
-	srvReq [HoursPerDay]int
-	s1Rel  [HoursPerDay]int
-	conn   [HoursPerDay][]float64
-	idle   [HoursPerDay][]float64
-}
-
-func (f *featureSink) countEvent(h int, e cp.EventType) {
-	switch e {
-	case cp.ServiceRequest:
-		f.srvReq[h]++
-	case cp.S1ConnRelease:
-		f.s1Rel[h]++
-	default: // only SRV_REQ and S1_CONN_REL counts are clustering features (§5.3)
-	}
-}
-
-func (f *featureSink) top(s topSample) {
-	if !s.Has {
-		return
-	}
-	switch s.Key.S {
-	case cp.StateConnected:
-		f.conn[s.Hour] = append(f.conn[s.Hour], s.Soj)
-	case cp.StateIdle:
-		f.idle[s.Hour] = append(f.idle[s.Hour], s.Soj)
-	default: // DEREGISTERED sojourns are not clustering features (§5.3)
-	}
-}
-
-func (f *featureSink) bot(botSample)          {}
-func (f *featureSink) botCensor(censorSample) {}
-func (f *featureSink) free(iaSample)          {}
-func (f *featureSink) first(firstSample)      {}
-func (f *featureSink) violation()             {}
-
-// features mirrors featuresAt: f may be nil for a UE with no events,
-// which yields the same all-zero features as extracting an empty
-// sequence.
-func (f *featureSink) features(h, days int) cluster.Features {
-	if f == nil {
-		return cluster.Features{}
-	}
-	return cluster.Features{
-		cluster.FSrvReqCount: float64(f.srvReq[h]) / float64(days),
-		cluster.FConnStd:     stats.StdDev(f.conn[h]),
-		cluster.FS1RelCount:  float64(f.s1Rel[h]) / float64(days),
-		cluster.FIdleStd:     stats.StdDev(f.idle[h]),
-	}
-}
-
-// taggedVal is a float sample tagged with its UE's rank and a per-UE
-// emission sequence number, so the serial fold order (ascending UE, then
-// event order) can be restored from a time-interleaved stream — even for
-// lists derived by merging several accumulators — by sorting on
-// (rank, seq). Each sample is stored exactly once, in its hour's cluster
-// accumulator; the hour aggregate and the global fallback are derived by
-// merge at build time instead of holding their own copies, which is what
-// keeps the streamed fit's peak below the in-memory path's.
-type taggedVal struct {
-	rank int32
-	seq  uint32
-	v    float64
-}
-
-// sortTagged orders a sample list back into the serial fold order, in
-// place. (rank, seq) pairs are unique, so the sort is total.
-func sortTagged(l []taggedVal) {
-	sort.Slice(l, func(i, j int) bool {
-		if l[i].rank != l[j].rank {
-			return l[i].rank < l[j].rank
-		}
-		return l[i].seq < l[j].seq
-	})
-}
-
-func taggedFloats(l []taggedVal) []float64 {
-	sortTagged(l)
-	out := make([]float64, len(l))
-	for i, t := range l {
-		out[i] = t.v
-	}
-	return out
-}
-
-// mergeTagged concatenates several sample lists and restores the serial
-// fold order across them.
-func mergeTagged(lists ...[]taggedVal) []float64 {
-	n := 0
-	for _, l := range lists {
-		n += len(l)
-	}
-	all := make([]taggedVal, 0, n)
-	for _, l := range lists {
-		all = append(all, l...)
-	}
-	return taggedFloats(all)
-}
-
-// streamAcc is the order-tolerant twin of acc: integer tallies (already
-// order-free) plus rank-tagged float samples. finalize restores the
-// serial sample order and hands the result to the shared acc.build.
-type streamAcc struct {
-	TopCount  map[topKey]int
-	TopSoj    map[topKey][]taggedVal
-	BotCount  map[botKey]int
-	BotSoj    map[botKey][]taggedVal
-	BotCensor map[sm.State][]taggedVal
-	FreeIA    map[cp.EventType][]taggedVal
-	FirstCnt  map[firstCatKey]int
-	FirstOff  []taggedVal
-	WithEv    int
-	NumUEs    int
-	Cells     int
-}
-
-func newStreamAcc() *streamAcc {
-	return &streamAcc{
-		TopCount:  make(map[topKey]int),
-		TopSoj:    make(map[topKey][]taggedVal),
-		BotCount:  make(map[botKey]int),
-		BotSoj:    make(map[botKey][]taggedVal),
-		BotCensor: make(map[sm.State][]taggedVal),
-		FreeIA:    make(map[cp.EventType][]taggedVal),
-		FirstCnt:  make(map[firstCatKey]int),
-	}
-}
-
-func (a *streamAcc) finalize() *acc {
-	out := newAcc()
-	out.TopCount = a.TopCount
-	out.BotCount = a.BotCount
-	out.FirstCnt = a.FirstCnt
-	out.WithEv = a.WithEv
-	out.NumUEs = a.NumUEs
-	out.Cells = a.Cells
-	out.TopSoj = mapApply(a.TopSoj, taggedFloats)
-	out.BotSoj = mapApply(a.BotSoj, taggedFloats)
-	out.BotCensor = mapApply(a.BotCensor, taggedFloats)
-	out.FreeIA = mapApply(a.FreeIA, taggedFloats)
-	out.FirstOff = taggedFloats(a.FirstOff)
-	return out
-}
-
-// mapApply rebuilds a map with f applied to every value. f must be
-// value-pure: it may only look at the one value it is handed, so the
-// map's iteration order cannot leak into any output.
-func mapApply[K comparable, V, W any](src map[K]V, f func(V) W) map[K]W {
-	out := make(map[K]W, len(src))
-	//cplint:ordered-ok each key is written once into its own slot and f is value-pure by contract
-	for k, v := range src {
-		out[k] = f(v)
-	}
-	return out
-}
-
-// unionAcc derives the accumulator a serial fold over the union of the
-// parts' UEs would have produced: tallies sum, and each sample list is
-// the (rank, seq)-ordered merge of the parts' lists. This reconstructs
-// the hour aggregate from the hour's cluster accumulators and the global
-// fallback from all of them — byte-exactly, because every UE lives in
-// exactly one part and its samples carry their emission order.
-func unionAcc(parts []*streamAcc) *acc {
-	out := newAcc()
-	topSoj := make(map[topKey][][]taggedVal)
-	botSoj := make(map[botKey][][]taggedVal)
-	botCen := make(map[sm.State][][]taggedVal)
-	freeIA := make(map[cp.EventType][][]taggedVal)
-	var firstOff [][]taggedVal
-	for _, p := range parts {
-		for k, c := range p.TopCount {
-			out.TopCount[k] += c
-		}
-		for k, c := range p.BotCount {
-			out.BotCount[k] += c
-		}
-		for k, c := range p.FirstCnt {
-			out.FirstCnt[k] += c
-		}
-		out.WithEv += p.WithEv
-		for k, l := range p.TopSoj {
-			topSoj[k] = append(topSoj[k], l)
-		}
-		for k, l := range p.BotSoj {
-			botSoj[k] = append(botSoj[k], l)
-		}
-		for k, l := range p.BotCensor {
-			botCen[k] = append(botCen[k], l)
-		}
-		for k, l := range p.FreeIA {
-			freeIA[k] = append(freeIA[k], l)
-		}
-		firstOff = append(firstOff, p.FirstOff)
-	}
-	mergeAll := func(ls [][]taggedVal) []float64 { return mergeTagged(ls...) }
-	out.TopSoj = mapApply(topSoj, mergeAll)
-	out.BotSoj = mapApply(botSoj, mergeAll)
-	out.BotCensor = mapApply(botCen, mergeAll)
-	out.FreeIA = mapApply(freeIA, mergeAll)
-	out.FirstOff = mergeTagged(firstOff...)
-	return out
-}
-
-// devStream is one device type's accumulation state during Pass B.
-type devStream struct {
-	ues         []cp.UEID
-	days        int
-	assignments []map[cp.UEID]int
-	numClusters []int
-	weights     [][]float64
-	freeSet     [cp.NumEventTypes]bool
-
-	clusters [HoursPerDay][]*streamAcc
-}
-
-func newDevStream(ues []cp.UEID, assignments []map[cp.UEID]int, numClusters []int, weights [][]float64, days int, opt FitOptions) *devStream {
-	st := &devStream{
-		ues:         ues,
-		days:        days,
-		assignments: assignments,
-		numClusters: numClusters,
-		weights:     weights,
-	}
-	// Only the configured free-process events are worth retaining:
-	// acc.build reads no others, and dropping the rest keeps the biggest
-	// per-event sample class (inter-arrivals) out of memory entirely for
-	// the default method.
-	for _, e := range opt.FreeEvents {
-		if e.Valid() {
-			st.freeSet[e] = true
-		}
-	}
-	for h := 0; h < HoursPerDay; h++ {
-		st.clusters[h] = make([]*streamAcc, numClusters[h])
-		for c := range st.clusters[h] {
-			st.clusters[h][c] = newStreamAcc()
-		}
-	}
-	return st
-}
-
-// build fills in the stream-independent counters, finalizes every
-// accumulator, and fits the device model with the shared acc.build.
-func (st *devStream) build(opt FitOptions) *DeviceModel {
-	// NumUEs/Cells are functions of the assignments alone — every UE of
-	// the device contributes to its cluster, the hour aggregate, and the
-	// global fallback whether or not it produced samples, exactly like the
-	// serial addUEHour/addUEAll fold.
-	for h := 0; h < HoursPerDay; h++ {
-		for _, ue := range st.ues {
-			c := st.assignments[h][ue]
-			st.clusters[h][c].NumUEs++
-			st.clusters[h][c].Cells += st.days
-		}
-	}
-
-	dm := &DeviceModel{
-		Personas: buildPersonas(st.ues, st.assignments),
-		Hours:    make([]HourModel, HoursPerDay),
-	}
-	par.For(HoursPerDay, opt.Workers, func(h int) {
-		hm := &dm.Hours[h]
-		hm.Clusters = make([]ClusterModel, st.numClusters[h])
-		for c := range st.clusters[h] {
-			hm.Clusters[c] = st.clusters[h][c].finalize().build(opt.Machine, opt)
-		}
-		agg := unionAcc(st.clusters[h])
-		agg.NumUEs = len(st.ues)
-		agg.Cells = len(st.ues) * st.days
-		a := agg.build(opt.Machine, opt)
-		hm.Aggregate = &a
-		hm.Weights = st.weights[h]
-	})
-	var all []*streamAcc
-	for h := 0; h < HoursPerDay; h++ {
-		all = append(all, st.clusters[h]...)
-	}
-	global := unionAcc(all)
-	global.NumUEs = len(st.ues)
-	global.Cells = len(st.ues) * st.days * HoursPerDay
-	g := global.build(opt.Machine, opt)
-	dm.Global = &g
-	return dm
-}
-
-// streamSink routes one UE's samples into the accumulator of the hour's
-// assigned cluster, tagging each with (rank, seq) so the aggregate and
-// global views can be merged back out in serial order later.
-type streamSink struct {
-	ue   cp.UEID
-	rank int32
-	seq  uint32
-	dev  *devStream
-}
-
-func (s *streamSink) accFor(h int) *streamAcc {
-	c := s.dev.assignments[h][s.ue]
-	return s.dev.clusters[h][c]
-}
-
-func (s *streamSink) tag(v float64) taggedVal {
-	t := taggedVal{rank: s.rank, seq: s.seq, v: v}
-	s.seq++
-	return t
-}
-
-func (s *streamSink) countEvent(int, cp.EventType) {}
-func (s *streamSink) violation()                   {}
-
-func (s *streamSink) top(sam topSample) {
-	a := s.accFor(int(sam.Hour))
-	a.TopCount[sam.Key]++
-	if sam.Has {
-		a.TopSoj[sam.Key] = append(a.TopSoj[sam.Key], s.tag(sam.Soj))
-	}
-}
-
-func (s *streamSink) bot(sam botSample) {
-	a := s.accFor(int(sam.Hour))
-	a.BotCount[sam.Key]++
-	if sam.Has {
-		a.BotSoj[sam.Key] = append(a.BotSoj[sam.Key], s.tag(sam.Soj))
-	}
-}
-
-func (s *streamSink) botCensor(sam censorSample) {
-	a := s.accFor(int(sam.Hour))
-	a.BotCensor[sam.S] = append(a.BotCensor[sam.S], s.tag(sam.Dur))
-}
-
-func (s *streamSink) free(sam iaSample) {
-	if !s.dev.freeSet[sam.E] {
-		return
-	}
-	a := s.accFor(int(sam.Hour))
-	a.FreeIA[sam.E] = append(a.FreeIA[sam.E], s.tag(sam.IA))
-}
-
-func (s *streamSink) first(sam firstSample) {
-	a := s.accFor(int(sam.Hour))
-	a.WithEv++
-	a.FirstCnt[firstCatKey{E: sam.E, S: sam.State}]++
-	a.FirstOff = append(a.FirstOff, s.tag(sam.Off))
+	return fitSource(src, opt)
 }

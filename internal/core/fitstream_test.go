@@ -67,6 +67,9 @@ func edgeTrace(t *testing.T) *trace.Trace {
 // TestFitStreamMatchesInMemory: the streamed fit must be byte-identical
 // to the in-memory fit for every source kind (in-memory trace, binary
 // file) and worker count — the same discipline as worker determinism.
+// Both entry points are thin drivers over one PartialFit now, so the
+// load-bearing comparisons are the file source (scanner decode path)
+// and the worker sweep.
 func TestFitStreamMatchesInMemory(t *testing.T) {
 	traces := map[string]*trace.Trace{
 		"toy":  toyTrace(t, 48, 3*cp.Hour, 7),
@@ -165,10 +168,10 @@ func peakHeap(fn func()) uint64 {
 // TestFitStreamBoundedMemory: fitting from a file through FitStream must
 // peak measurably below the read-then-fit in-memory path on the same
 // trace. Exact byte-identity forces the streamed fit to retain every
-// sojourn sample in its accumulators, so its heap still grows with the
-// trace — what it never holds is the event slice, the per-UE event
-// groups, or the per-UE sample slices, which is where the in-memory
-// path's peak lives.
+// sojourn sample in its pools, so its heap still grows with the trace —
+// what it never holds is the materialized event slice, which is where
+// the in-memory path's peak lives. (FitOptions.SketchK bounds the
+// retained-sample term too; TestFitSketchedBoundedMemory gates that.)
 func TestFitStreamBoundedMemory(t *testing.T) {
 	if testing.Short() {
 		t.Skip("memory profile run skipped in -short mode")

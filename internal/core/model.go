@@ -181,7 +181,13 @@ func (ms *ModelSet) lower(machine *sm.Machine) *compiledModel {
 
 // Machine resolves the model's state machine.
 func (ms *ModelSet) Machine() (*sm.Machine, error) {
-	switch ms.MachineName {
+	return machineByName(ms.MachineName)
+}
+
+// machineByName resolves a serialized machine name — the shared
+// resolution for model JSON and partialfit/1 files.
+func machineByName(name string) (*sm.Machine, error) {
+	switch name {
 	case "LTE-2LEVEL":
 		return sm.LTE2Level(), nil
 	case "EMM-ECM":
@@ -189,7 +195,7 @@ func (ms *ModelSet) Machine() (*sm.Machine, error) {
 	case "5G-SA":
 		return sm.FiveGSA(), nil
 	}
-	return nil, fmt.Errorf("core: unknown machine %q", ms.MachineName)
+	return nil, fmt.Errorf("core: unknown machine %q", name)
 }
 
 // Device returns the device model for d, or nil.

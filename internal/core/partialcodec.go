@@ -1,0 +1,633 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"cptraffic/internal/cluster"
+	"cptraffic/internal/cp"
+	"cptraffic/internal/sm"
+	"cptraffic/internal/stats"
+	"cptraffic/internal/trace"
+)
+
+// PartialFormatV1 is the format tag every partialfit/1 file must carry.
+// The format is strict like scenario/1: unknown fields and unknown
+// format tags are rejected, and Encode emits one canonical byte stream
+// per partial state (devices in device-type order, UEs ascending,
+// counts by packed key, pool items by (UE, seq)), so a file round-trips
+// byte-identically through DecodePartial and Encode. The normative
+// field reference lives in PARTIALFIT.md at the repo root.
+const PartialFormatV1 = "partialfit/1"
+
+// partialFile is the top-level partialfit/1 document.
+type partialFile struct {
+	// Format must be "partialfit/1".
+	Format string `json:"format"`
+	// Options pins the fit options; partials only merge when they agree.
+	Options partialOptions `json:"options"`
+	// SpanMS is the maximum event timestamp seen, in ms.
+	SpanMS int64 `json:"span_ms"`
+	// EventsConsumed counts ingested events (resume skips that many),
+	// or -1 for a merged partial, which cannot resume a source.
+	EventsConsumed int64 `json:"events_consumed"`
+	// Violations counts machine-violation events observed so far.
+	Violations int64 `json:"violations,omitempty"`
+	// Devices holds one block per device type with registered UEs, in
+	// device-type order.
+	Devices []partialDevice `json:"devices"`
+}
+
+// partialOptions is the serialized form of FitOptions. Workers is
+// deliberately absent: it never affects the fitted bytes.
+type partialOptions struct {
+	// Machine is the state-machine name ("LTE-2LEVEL", "EMM-ECM", "5G-SA").
+	Machine string `json:"machine"`
+	// Method is the model label ("ours", "base", "v1", "v2").
+	Method string `json:"method"`
+	// SojournKind is the sojourn family ("table" or "exp" spellings of
+	// SojournTable / SojournExp).
+	SojournKind string `json:"sojourn_kind"`
+	// FreeEvents lists free-process event types by name, in option order.
+	FreeEvents []string `json:"free_events,omitempty"`
+	// NoClustering disables adaptive clustering (the Base method).
+	NoClustering bool `json:"no_clustering,omitempty"`
+	// ThetaF carries the four per-feature split thresholds (raw option
+	// values; zeros mean the cluster package defaults).
+	ThetaF []float64 `json:"theta_f"`
+	// ThetaN is the minimum cluster size before a split is considered.
+	ThetaN int `json:"theta_n"`
+	// MaxDepth bounds the partition tree depth.
+	MaxDepth int `json:"max_depth"`
+	// SketchK is the bounded-memory pool size; 0 means exact pools.
+	SketchK int `json:"sketch_k,omitempty"`
+}
+
+// partialDevice is one device type's state.
+type partialDevice struct {
+	// Device is the device-type name ("phone", "connected_car", "tablet").
+	Device string `json:"device"`
+	// UEs lists the registered UE IDs, strictly ascending.
+	UEs []cp.UEID `json:"ues"`
+	// Extractors holds the in-flight per-UE walk states, by UE ascending.
+	Extractors []partialExtractor `json:"extractors,omitempty"`
+	// Counts holds every integer tally in packed-column form.
+	Counts partialCounts `json:"counts"`
+	// Pools holds the tagged sample pools in canonical key order.
+	Pools []partialPool `json:"pools,omitempty"`
+	// Moments holds the sketched-mode per-UE feature moments, sorted by
+	// (ue, hour, conn).
+	Moments []partialMoment `json:"moments,omitempty"`
+}
+
+// partialCounts is a column-oriented dump of the count map, sorted by
+// (ue, key) ascending. Entry i is (UE[i], Key[i]) -> N[i], where Key is
+// the low 32 bits of the packed count key: kind<<29 | hour<<24 | a<<8 | b.
+type partialCounts struct {
+	UE  []cp.UEID `json:"ue,omitempty"`
+	Key []uint32  `json:"key,omitempty"`
+	N   []int64   `json:"n,omitempty"`
+}
+
+// partialPool is one sample pool. The kind decides which of state/event
+// are meaningful: "top" (state = cp.UEState, event), "bot" (state =
+// machine state, event), "censor" (state only), "free" (event only),
+// "first" (neither). Items are column-oriented in (ue, seq) order; n is
+// the total number of observations, which exceeds len(ue) when the pool
+// is a bottom-k sketch (sketch priorities are recomputed on decode, so
+// they never appear on the wire).
+type partialPool struct {
+	Hour  int       `json:"hour"`
+	Kind  string    `json:"kind"`
+	State int       `json:"state,omitempty"`
+	Event string    `json:"event,omitempty"`
+	N     int64     `json:"n"`
+	UE    []cp.UEID `json:"ue,omitempty"`
+	Seq   []uint32  `json:"seq,omitempty"`
+	V     []float64 `json:"v,omitempty"`
+}
+
+// partialMoment is one UE's streaming sojourn moments at one hour
+// (conn=true for CONNECTED, false for IDLE): count, mean, and the
+// Welford M2 sum of squared deviations.
+type partialMoment struct {
+	UE    cp.UEID `json:"ue"`
+	Hour  int     `json:"hour"`
+	Conn  bool    `json:"conn,omitempty"`
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	M2    float64 `json:"m2"`
+}
+
+// partialExtractor is one UE's in-flight extraction walk: the buffered
+// undecided prefix, the two machine levels, and the per-event-type
+// recency state. The fixed-length arrays are indexed by event type;
+// their length is pinned to the event-type count (a new event type is a
+// format break).
+type partialExtractor struct {
+	UE             cp.UEID        `json:"ue"`
+	Seq            uint32         `json:"seq,omitempty"`
+	Decided        bool           `json:"decided,omitempty"`
+	Buf            []partialEvent `json:"buf,omitempty"`
+	Macro          int            `json:"macro"`
+	Bottom         int            `json:"bottom"`
+	MacroAtMS      int64          `json:"macro_at_ms"`
+	BotAtMS        int64          `json:"bot_at_ms"`
+	MacroHas       bool           `json:"macro_has,omitempty"`
+	BotHas         bool           `json:"bot_has,omitempty"`
+	LastOfTypeMS   []int64        `json:"last_of_type_ms"`
+	LastCellOfType []int          `json:"last_cell_of_type"`
+	SeenType       []bool         `json:"seen_type"`
+	LastCell       int            `json:"last_cell"`
+}
+
+// partialEvent is one buffered event of the extractor's own UE.
+type partialEvent struct {
+	TMS  int64  `json:"t_ms"`
+	Type string `json:"type"`
+}
+
+var poolKindNames = [numPoolKinds]string{
+	poolTop:    "top",
+	poolBot:    "bot",
+	poolCensor: "censor",
+	poolFree:   "free",
+	poolFirst:  "first",
+}
+
+func poolKindByName(s string) (uint8, bool) {
+	for k, n := range poolKindNames {
+		if n == s {
+			return uint8(k), true
+		}
+	}
+	return 0, false
+}
+
+// Encode writes the partial's full state as one canonical partialfit/1
+// JSON document. A built partial cannot be encoded (Build consumes the
+// state), and neither can a partial whose machine is not one of the
+// named machines machineByName resolves.
+func (pf *PartialFit) Encode(w io.Writer) error {
+	if pf.built {
+		return fmt.Errorf("core: cannot encode a built partial fit")
+	}
+	if _, err := machineByName(pf.opt.Machine.Name); err != nil {
+		return fmt.Errorf("core: cannot encode a partial fit over an unnamed custom machine: %w", err)
+	}
+	f := partialFile{
+		Format:         PartialFormatV1,
+		SpanMS:         int64(pf.span),
+		EventsConsumed: pf.consumed,
+		Violations:     pf.violations,
+	}
+	f.Options = partialOptions{
+		Machine:      pf.opt.Machine.Name,
+		Method:       pf.opt.Method,
+		SojournKind:  pf.opt.SojournKind,
+		NoClustering: pf.opt.NoClustering,
+		ThetaF:       append([]float64(nil), pf.opt.Cluster.ThetaF[:]...),
+		ThetaN:       pf.opt.Cluster.ThetaN,
+		MaxDepth:     pf.opt.Cluster.MaxDepth,
+		SketchK:      pf.opt.SketchK,
+	}
+	for _, e := range pf.opt.FreeEvents {
+		f.Options.FreeEvents = append(f.Options.FreeEvents, e.String())
+	}
+	for _, d := range cp.DeviceTypes {
+		dp := pf.devs[d]
+		if dp == nil || len(dp.ues) == 0 {
+			continue
+		}
+		pd := partialDevice{Device: d.String()}
+		pd.UEs = append([]cp.UEID(nil), dp.ues...)
+		sort.Slice(pd.UEs, func(i, j int) bool { return pd.UEs[i] < pd.UEs[j] })
+
+		for _, ue := range pd.UEs {
+			st := pf.exts[ue]
+			if st == nil {
+				continue
+			}
+			pd.Extractors = append(pd.Extractors, encodeExtractor(ue, st))
+		}
+
+		keys := make([]uint64, 0, len(dp.counts))
+		for k := range dp.counts {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			pd.Counts.UE = append(pd.Counts.UE, cp.UEID(k>>32))
+			pd.Counts.Key = append(pd.Counts.Key, uint32(k))
+			pd.Counts.N = append(pd.Counts.N, dp.counts[k])
+		}
+
+		pkeys := make([]poolKey, 0, len(dp.pools))
+		for k := range dp.pools {
+			pkeys = append(pkeys, k)
+		}
+		sort.Slice(pkeys, func(i, j int) bool { return poolKeyLess(pkeys[i], pkeys[j]) })
+		for _, k := range pkeys {
+			p := dp.pools[k]
+			pp := partialPool{
+				Hour: int(k.Hour),
+				Kind: poolKindNames[k.Kind],
+				N:    p.count(),
+			}
+			switch k.Kind {
+			case poolTop, poolBot:
+				pp.State = int(k.A)
+				pp.Event = cp.EventType(k.B).String()
+			case poolCensor:
+				pp.State = int(k.A)
+			case poolFree:
+				pp.Event = cp.EventType(k.B).String()
+			}
+			for _, it := range p.canonicalItems() {
+				pp.UE = append(pp.UE, it.ue)
+				pp.Seq = append(pp.Seq, it.seq)
+				pp.V = append(pp.V, it.v)
+			}
+			pd.Pools = append(pd.Pools, pp)
+		}
+
+		mkeys := make([]momKey, 0, len(dp.moments))
+		for k := range dp.moments {
+			mkeys = append(mkeys, k)
+		}
+		sort.Slice(mkeys, func(i, j int) bool {
+			x, y := mkeys[i], mkeys[j]
+			if x.ue != y.ue {
+				return x.ue < y.ue
+			}
+			if x.hour != y.hour {
+				return x.hour < y.hour
+			}
+			return !x.conn && y.conn
+		})
+		for _, k := range mkeys {
+			m := dp.moments[k]
+			pd.Moments = append(pd.Moments, partialMoment{
+				UE: k.ue, Hour: int(k.hour), Conn: k.conn,
+				Count: m.n, Mean: m.mean, M2: m.m2,
+			})
+		}
+		f.Devices = append(f.Devices, pd)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}
+
+func poolKeyLess(x, y poolKey) bool {
+	if x.Hour != y.Hour {
+		return x.Hour < y.Hour
+	}
+	if x.Kind != y.Kind {
+		return x.Kind < y.Kind
+	}
+	if x.A != y.A {
+		return x.A < y.A
+	}
+	return x.B < y.B
+}
+
+func encodeExtractor(ue cp.UEID, st *ueFitState) partialExtractor {
+	x := st.ext
+	px := partialExtractor{
+		UE:        ue,
+		Seq:       st.sink.seq,
+		Decided:   x.decided,
+		Macro:     int(x.macro),
+		Bottom:    int(x.bottom),
+		MacroAtMS: int64(x.macroAt),
+		BotAtMS:   int64(x.botAt),
+		MacroHas:  x.macroHas,
+		BotHas:    x.botHas,
+		LastCell:  x.lastCell,
+	}
+	for _, ev := range x.buf {
+		px.Buf = append(px.Buf, partialEvent{TMS: int64(ev.T), Type: ev.Type.String()})
+	}
+	px.LastOfTypeMS = make([]int64, cp.NumEventTypes)
+	px.LastCellOfType = make([]int, cp.NumEventTypes)
+	px.SeenType = make([]bool, cp.NumEventTypes)
+	for i := 0; i < cp.NumEventTypes; i++ {
+		px.LastOfTypeMS[i] = int64(x.lastOfType[i])
+		px.LastCellOfType[i] = x.lastCellOfType[i]
+		px.SeenType[i] = x.seenType[i]
+	}
+	return px
+}
+
+// DecodePartial reads one partialfit/1 document and reconstructs the
+// partial fit, mid-scan extractor state included. Decoding is strict:
+// unknown fields, unknown format tags, unknown names, unsorted or
+// inconsistent columns are all errors. The result behaves exactly like
+// the encoded partial — resume its source scan with AddSource, Merge it
+// with sibling shards, or Build it.
+func DecodePartial(r io.Reader) (*PartialFit, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f partialFile
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: decoding partial fit: %w", err)
+	}
+	if f.Format != PartialFormatV1 {
+		return nil, fmt.Errorf("core: unknown partial-fit format %q (want %q)", f.Format, PartialFormatV1)
+	}
+	opt, err := decodePartialOptions(f.Options)
+	if err != nil {
+		return nil, err
+	}
+	pf, err := NewPartialFit(opt)
+	if err != nil {
+		return nil, err
+	}
+	if f.EventsConsumed < -1 {
+		return nil, fmt.Errorf("core: partial fit: invalid events_consumed %d", f.EventsConsumed)
+	}
+	pf.span = cp.Millis(f.SpanMS)
+	pf.consumed = f.EventsConsumed
+	pf.violations = f.Violations
+	pf.restored = true
+
+	seenDev := map[string]bool{}
+	for _, pd := range f.Devices {
+		d, err := cp.ParseDeviceType(pd.Device)
+		if err != nil {
+			return nil, fmt.Errorf("core: partial fit: %w", err)
+		}
+		if seenDev[pd.Device] {
+			return nil, fmt.Errorf("core: partial fit: device %q appears twice", pd.Device)
+		}
+		seenDev[pd.Device] = true
+		if len(pd.UEs) == 0 {
+			return nil, fmt.Errorf("core: partial fit: device %q has no UEs", pd.Device)
+		}
+		for i, ue := range pd.UEs {
+			if i > 0 && pd.UEs[i-1] >= ue {
+				return nil, fmt.Errorf("core: partial fit: device %q UE list not strictly ascending", pd.Device)
+			}
+			if _, dup := pf.devOf[ue]; dup {
+				return nil, fmt.Errorf("core: partial fit: UE %d registered twice", ue)
+			}
+			pf.register(ue, d)
+		}
+		dp := pf.devs[d]
+		if err := decodeCounts(dp, d, pf, pd); err != nil {
+			return nil, err
+		}
+		if err := decodePools(dp, d, pf, pd); err != nil {
+			return nil, err
+		}
+		if err := decodeMoments(dp, d, pf, pd); err != nil {
+			return nil, err
+		}
+		if err := decodeExtractors(d, pf, pd); err != nil {
+			return nil, err
+		}
+	}
+	return pf, nil
+}
+
+func decodePartialOptions(po partialOptions) (FitOptions, error) {
+	var opt FitOptions
+	m, err := machineByName(po.Machine)
+	if err != nil {
+		return opt, err
+	}
+	opt.Machine = m
+	opt.Method = po.Method
+	opt.SojournKind = po.SojournKind
+	switch po.SojournKind {
+	case SojournTable, SojournExp:
+	default:
+		return opt, fmt.Errorf("core: partial fit: unknown sojourn kind %q", po.SojournKind)
+	}
+	for _, name := range po.FreeEvents {
+		e, err := cp.ParseEventType(name)
+		if err != nil {
+			return opt, fmt.Errorf("core: partial fit: %w", err)
+		}
+		opt.FreeEvents = append(opt.FreeEvents, e)
+	}
+	opt.NoClustering = po.NoClustering
+	if len(po.ThetaF) != len(opt.Cluster.ThetaF) {
+		return opt, fmt.Errorf("core: partial fit: theta_f needs %d entries, got %d",
+			len(opt.Cluster.ThetaF), len(po.ThetaF))
+	}
+	var tf cluster.Features
+	copy(tf[:], po.ThetaF)
+	opt.Cluster = cluster.Options{ThetaF: tf, ThetaN: po.ThetaN, MaxDepth: po.MaxDepth}
+	if po.SketchK < 0 {
+		return opt, fmt.Errorf("core: partial fit: negative sketch_k %d", po.SketchK)
+	}
+	opt.SketchK = po.SketchK
+	return opt, nil
+}
+
+func decodeCounts(dp *devPartial, d cp.DeviceType, pf *PartialFit, pd partialDevice) error {
+	c := pd.Counts
+	if len(c.UE) != len(c.Key) || len(c.UE) != len(c.N) {
+		return fmt.Errorf("core: partial fit: device %q count columns differ in length", pd.Device)
+	}
+	var prev uint64
+	for i := range c.UE {
+		if dev, ok := pf.devOf[c.UE[i]]; !ok || dev != d {
+			return fmt.Errorf("core: partial fit: count for UE %d not of device %q", c.UE[i], pd.Device)
+		}
+		k := uint64(c.UE[i])<<32 | uint64(c.Key[i])
+		if i > 0 && k <= prev {
+			return fmt.Errorf("core: partial fit: device %q counts not strictly ascending", pd.Device)
+		}
+		prev = k
+		r := decodeCntKey(k, c.N[i])
+		if r.kind >= numCntKinds {
+			return fmt.Errorf("core: partial fit: unknown count kind %d", r.kind)
+		}
+		if int(r.hour) >= HoursPerDay {
+			return fmt.Errorf("core: partial fit: count hour %d out of range", r.hour)
+		}
+		if c.N[i] <= 0 {
+			return fmt.Errorf("core: partial fit: count %d must be positive", c.N[i])
+		}
+		dp.counts[k] = c.N[i]
+	}
+	return nil
+}
+
+func decodePools(dp *devPartial, d cp.DeviceType, pf *PartialFit, pd partialDevice) error {
+	var prev poolKey
+	for pi, pp := range pd.Pools {
+		kind, ok := poolKindByName(pp.Kind)
+		if !ok {
+			return fmt.Errorf("core: partial fit: unknown pool kind %q", pp.Kind)
+		}
+		if pp.Hour < 0 || pp.Hour >= HoursPerDay {
+			return fmt.Errorf("core: partial fit: pool hour %d out of range", pp.Hour)
+		}
+		k := poolKey{Hour: uint8(pp.Hour), Kind: kind}
+		needState := kind == poolTop || kind == poolBot || kind == poolCensor
+		needEvent := kind == poolTop || kind == poolBot || kind == poolFree
+		if needState {
+			max := pf.opt.Machine.NumStates()
+			if kind == poolTop {
+				max = cp.NumUEStates
+			}
+			if pp.State < 0 || pp.State >= max {
+				return fmt.Errorf("core: partial fit: pool state %d out of range for kind %q", pp.State, pp.Kind)
+			}
+			k.A = uint8(pp.State)
+		} else if pp.State != 0 {
+			return fmt.Errorf("core: partial fit: pool kind %q takes no state", pp.Kind)
+		}
+		if needEvent {
+			e, err := cp.ParseEventType(pp.Event)
+			if err != nil {
+				return fmt.Errorf("core: partial fit: %w", err)
+			}
+			k.B = uint8(e)
+		} else if pp.Event != "" {
+			return fmt.Errorf("core: partial fit: pool kind %q takes no event", pp.Kind)
+		}
+		if pi > 0 && !poolKeyLess(prev, k) {
+			return fmt.Errorf("core: partial fit: device %q pools not in canonical order", pd.Device)
+		}
+		prev = k
+		if len(pp.UE) != len(pp.Seq) || len(pp.UE) != len(pp.V) {
+			return fmt.Errorf("core: partial fit: pool %q/%d columns differ in length", pp.Kind, pp.Hour)
+		}
+		items := make([]pitem, len(pp.UE))
+		for i := range pp.UE {
+			if dev, ok := pf.devOf[pp.UE[i]]; !ok || dev != d {
+				return fmt.Errorf("core: partial fit: pool sample for UE %d not of device %q", pp.UE[i], pd.Device)
+			}
+			if i > 0 && (pp.UE[i-1] > pp.UE[i] || (pp.UE[i-1] == pp.UE[i] && pp.Seq[i-1] >= pp.Seq[i])) {
+				return fmt.Errorf("core: partial fit: pool %q/%d items not in (ue, seq) order", pp.Kind, pp.Hour)
+			}
+			items[i] = pitem{ue: pp.UE[i], seq: pp.Seq[i], v: pp.V[i]}
+		}
+		p := &pool{}
+		if pf.opt.SketchK > 0 {
+			if len(items) > pf.opt.SketchK {
+				return fmt.Errorf("core: partial fit: pool %q/%d holds %d items, over sketch_k %d",
+					pp.Kind, pp.Hour, len(items), pf.opt.SketchK)
+			}
+			if pp.N < int64(len(items)) {
+				return fmt.Errorf("core: partial fit: pool %q/%d n=%d below %d retained items",
+					pp.Kind, pp.Hour, pp.N, len(items))
+			}
+			ski := make([]stats.SketchItem, len(items))
+			salt := poolSalt(k)
+			for i, it := range items {
+				tag := uint64(it.ue)<<32 | uint64(it.seq)
+				ski[i] = stats.SketchItem{Pri: stats.SketchPriority(salt, tag), Tag: tag, V: it.v}
+			}
+			p.sk = stats.RestoreSketch(pf.opt.SketchK, pp.N, ski)
+		} else {
+			if pp.N != int64(len(items)) {
+				return fmt.Errorf("core: partial fit: exact pool %q/%d n=%d != %d items",
+					pp.Kind, pp.Hour, pp.N, len(items))
+			}
+			p.items = items
+		}
+		dp.pools[k] = p
+	}
+	return nil
+}
+
+func decodeMoments(dp *devPartial, d cp.DeviceType, pf *PartialFit, pd partialDevice) error {
+	if len(pd.Moments) > 0 && pf.opt.SketchK == 0 {
+		return fmt.Errorf("core: partial fit: exact-mode device %q carries moments", pd.Device)
+	}
+	for i, m := range pd.Moments {
+		if dev, ok := pf.devOf[m.UE]; !ok || dev != d {
+			return fmt.Errorf("core: partial fit: moment for UE %d not of device %q", m.UE, pd.Device)
+		}
+		if m.Hour < 0 || m.Hour >= HoursPerDay {
+			return fmt.Errorf("core: partial fit: moment hour %d out of range", m.Hour)
+		}
+		if m.Count < 1 || m.M2 < 0 {
+			return fmt.Errorf("core: partial fit: moment for UE %d has count %d, m2 %v", m.UE, m.Count, m.M2)
+		}
+		k := momKey{ue: m.UE, hour: uint8(m.Hour), conn: m.Conn}
+		if i > 0 {
+			pm := pd.Moments[i-1]
+			pk := momKey{ue: pm.UE, hour: uint8(pm.Hour), conn: pm.Conn}
+			if !momKeyLess(pk, k) {
+				return fmt.Errorf("core: partial fit: device %q moments not in (ue, hour, conn) order", pd.Device)
+			}
+		}
+		if _, dup := dp.moments[k]; dup {
+			return fmt.Errorf("core: partial fit: duplicate moment for UE %d", m.UE)
+		}
+		dp.moments[k] = &welford{n: m.Count, mean: m.Mean, m2: m.M2}
+	}
+	return nil
+}
+
+func momKeyLess(x, y momKey) bool {
+	if x.ue != y.ue {
+		return x.ue < y.ue
+	}
+	if x.hour != y.hour {
+		return x.hour < y.hour
+	}
+	return !x.conn && y.conn
+}
+
+func decodeExtractors(d cp.DeviceType, pf *PartialFit, pd partialDevice) error {
+	var prev cp.UEID
+	for i, px := range pd.Extractors {
+		if dev, ok := pf.devOf[px.UE]; !ok || dev != d {
+			return fmt.Errorf("core: partial fit: extractor for UE %d not of device %q", px.UE, pd.Device)
+		}
+		if i > 0 && px.UE <= prev {
+			return fmt.Errorf("core: partial fit: device %q extractors not strictly ascending", pd.Device)
+		}
+		prev = px.UE
+		if _, dup := pf.exts[px.UE]; dup {
+			return fmt.Errorf("core: partial fit: duplicate extractor for UE %d", px.UE)
+		}
+		if px.Macro < 0 || px.Macro >= cp.NumUEStates {
+			return fmt.Errorf("core: partial fit: extractor macro state %d out of range", px.Macro)
+		}
+		if px.Bottom < 0 || px.Bottom >= pf.opt.Machine.NumStates() {
+			return fmt.Errorf("core: partial fit: extractor bottom state %d out of range", px.Bottom)
+		}
+		if len(px.LastOfTypeMS) != cp.NumEventTypes ||
+			len(px.LastCellOfType) != cp.NumEventTypes ||
+			len(px.SeenType) != cp.NumEventTypes {
+			return fmt.Errorf("core: partial fit: extractor per-type arrays need %d entries", cp.NumEventTypes)
+		}
+		if px.Decided && len(px.Buf) != 0 {
+			return fmt.Errorf("core: partial fit: decided extractor for UE %d still buffers events", px.UE)
+		}
+		sink := &partialSink{pf: pf, d: d, ue: px.UE, seq: px.Seq}
+		x := newUEExtractor(pf.opt.Machine, sink)
+		x.decided = px.Decided
+		x.macro = cp.UEState(px.Macro)
+		x.bottom = sm.State(px.Bottom)
+		x.macroAt = cp.Millis(px.MacroAtMS)
+		x.botAt = cp.Millis(px.BotAtMS)
+		x.macroHas = px.MacroHas
+		x.botHas = px.BotHas
+		x.lastCell = px.LastCell
+		for _, pe := range px.Buf {
+			e, err := cp.ParseEventType(pe.Type)
+			if err != nil {
+				return fmt.Errorf("core: partial fit: %w", err)
+			}
+			x.buf = append(x.buf, trace.Event{T: cp.Millis(pe.TMS), UE: px.UE, Type: e})
+		}
+		for j := 0; j < cp.NumEventTypes; j++ {
+			x.lastOfType[j] = cp.Millis(px.LastOfTypeMS[j])
+			x.lastCellOfType[j] = px.LastCellOfType[j]
+			x.seenType[j] = px.SeenType[j]
+		}
+		pf.exts[px.UE] = &ueFitState{ext: x, sink: sink}
+	}
+	return nil
+}

@@ -1,0 +1,936 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cptraffic/internal/cluster"
+	"cptraffic/internal/cp"
+	"cptraffic/internal/par"
+	"cptraffic/internal/sm"
+	"cptraffic/internal/stats"
+	"cptraffic/internal/trace"
+)
+
+// PartialFit is the fit pipeline's state as a first-class value: the
+// per-(hour, device, cluster) accumulators, feature state, and sojourn
+// sample pools of a fit over some subset of a population, held in a
+// form that is
+//
+//   - mergeable: Merge folds another partial (over a disjoint UE set)
+//     in, and Build on the result is byte-identical to one fit over the
+//     union — for any shard count, merge order, or merge tree. Every
+//     retained sample is tagged with its (UE, per-UE sequence) identity,
+//     so the serial fold order is reconstructed at Build time no matter
+//     how the samples were scattered across partials;
+//   - serializable: Encode/DecodePartial round-trip the full mid-scan
+//     state (including each UE's extractor walk) through the strict,
+//     versioned partialfit/1 format, so a killed fit resumes from its
+//     last checkpoint instead of restarting;
+//   - boundable: with FitOptions.SketchK > 0, sample pools are backed
+//     by mergeable bottom-k priority sketches (stats.Sketch) instead of
+//     exact lists, capping per-pool memory at SketchK samples with the
+//     quantile error bound of stats.SketchErrorBound. Sketch priorities
+//     are deterministic hashes of the sample identity, so even sketched
+//     fits are byte-identical sharded vs unsharded.
+//
+// Clustering is deferred to Build: the adaptive partition needs every
+// UE's features, which only exist once all shards are merged. That is
+// why counts are held per-(UE, hour) — Build splits them per cluster
+// after assignment — and why the partial's memory is O(UEs + samples),
+// with the sample term bounded by the sketch and the UE term bounded by
+// sharding.
+//
+// Fit and FitStream are thin drivers over this type (NewPartialFit →
+// AddSource → Build); construct one directly to shard, checkpoint, or
+// bound a fit.
+type PartialFit struct {
+	opt     FitOptions
+	freeSet [cp.NumEventTypes]bool
+
+	devOf map[cp.UEID]cp.DeviceType
+	devs  [cp.NumDeviceTypes]*devPartial
+
+	exts map[cp.UEID]*ueFitState
+
+	span       cp.Millis
+	consumed   int64 // events ingested via AddEvent; -1 once merged (not resumable)
+	violations int64
+	restored   bool // decoded from a checkpoint: AddSource verifies the registry
+	built      bool
+}
+
+// ueFitState pairs one UE's extractor walk with its tagging sink.
+type ueFitState struct {
+	ext  *ueExtractor
+	sink *partialSink
+}
+
+// devPartial is one device type's share of a partial fit.
+type devPartial struct {
+	ues []cp.UEID
+	// counts holds every integer tally per (UE, kind, hour, key) — see
+	// cntKey. Per-UE granularity is what lets Build split exact counts
+	// per cluster after the deferred clustering assigns UEs.
+	counts map[uint64]int64
+	// pools holds the float sample lists per (hour, kind, state, event),
+	// each sample tagged (UE, seq); exact lists or bottom-k sketches.
+	pools map[poolKey]*pool
+	// moments holds per-(UE, hour) streaming moments of CONNECTED/IDLE
+	// sojourns — the clustering features of sketched mode, where the
+	// exact per-UE sample lists are not recoverable from the pools.
+	moments map[momKey]*welford
+}
+
+func newDevPartial() *devPartial {
+	return &devPartial{
+		counts:  make(map[uint64]int64),
+		pools:   make(map[poolKey]*pool),
+		moments: make(map[momKey]*welford),
+	}
+}
+
+// ---- count keys ----
+
+// Count kinds. A count record is keyed (UE, kind, hour, a, b); the a/b
+// payload depends on the kind.
+const (
+	cntTop      = uint8(0) // a = cp.UEState, b = event: top transition count
+	cntBot      = uint8(1) // a = sm.State, b = event: bottom transition count
+	cntFirst    = uint8(2) // a = event, b = post-state: first-event category
+	cntWithEv   = uint8(3) // cells of this (UE, hour) with >= 1 event
+	cntEvt      = uint8(4) // b = event (SRV_REQ / S1_CONN_REL only): feature count
+	numCntKinds = uint8(5)
+)
+
+// cntKey packs a count identity: UE in the high 32 bits (so sorting by
+// key groups per UE), then kind(3) | hour(5) | a(8) in bits 28..8, b in
+// the low byte.
+func cntKey(ue cp.UEID, kind uint8, hour int, a, b uint8) uint64 {
+	return uint64(ue)<<32 | uint64(kind)<<29 | uint64(hour)<<24 | uint64(a)<<8 | uint64(b)
+}
+
+// countRec is one decoded count entry.
+type countRec struct {
+	ue   cp.UEID
+	kind uint8
+	hour uint8
+	a, b uint8
+	n    int64
+}
+
+func decodeCntKey(k uint64, n int64) countRec {
+	return countRec{
+		ue:   cp.UEID(k >> 32),
+		kind: uint8(k>>29) & 7,
+		hour: uint8(k>>24) & 31,
+		a:    uint8(k >> 8),
+		b:    uint8(k),
+		n:    n,
+	}
+}
+
+// countRecs decodes the count map into records sorted by
+// (hour, UE, kind, a, b) — hour-major so Build can slice per hour.
+func (dp *devPartial) countRecs() []countRec {
+	recs := make([]countRec, 0, len(dp.counts))
+	for k, n := range dp.counts {
+		recs = append(recs, decodeCntKey(k, n))
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		x, y := recs[i], recs[j]
+		if x.hour != y.hour {
+			return x.hour < y.hour
+		}
+		if x.ue != y.ue {
+			return x.ue < y.ue
+		}
+		if x.kind != y.kind {
+			return x.kind < y.kind
+		}
+		if x.a != y.a {
+			return x.a < y.a
+		}
+		return x.b < y.b
+	})
+	return recs
+}
+
+// applyCount folds one count record into an accumulator. cntEvt records
+// feed clustering features only, never the accumulators.
+func (a *acc) applyCount(r countRec) {
+	switch r.kind {
+	case cntTop:
+		a.TopCount[topKey{S: cp.UEState(r.a), E: cp.EventType(r.b)}] += int(r.n)
+	case cntBot:
+		a.BotCount[botKey{S: sm.State(r.a), E: cp.EventType(r.b)}] += int(r.n)
+	case cntFirst:
+		a.FirstCnt[firstCatKey{E: cp.EventType(r.a), S: sm.State(r.b)}] += int(r.n)
+	case cntWithEv:
+		a.WithEv += int(r.n)
+	}
+}
+
+// ---- sample pools ----
+
+// Pool kinds.
+const (
+	poolTop      = uint8(0) // A = cp.UEState, B = event: uncensored top sojourns
+	poolBot      = uint8(1) // A = sm.State, B = event: uncensored bottom sojourns
+	poolCensor   = uint8(2) // A = sm.State: right-censored bottom sojourns
+	poolFree     = uint8(3) // B = event: free-process inter-arrivals
+	poolFirst    = uint8(4) // first-event offsets within the hour
+	numPoolKinds = 5
+)
+
+// poolKey addresses one sample pool.
+type poolKey struct {
+	Hour uint8
+	Kind uint8
+	A    uint8
+	B    uint8
+}
+
+// poolSalt derives the sketch-priority salt of a pool. It depends only
+// on the pool's identity — never on the process or shard — which is
+// what makes sketched shards merge into the unsharded result exactly.
+func poolSalt(k poolKey) uint64 {
+	return uint64(k.Kind)<<24 | uint64(k.Hour)<<16 | uint64(k.A)<<8 | uint64(k.B)
+}
+
+// pitem is one retained sample: the (UE, seq) identity that
+// reconstructs the serial fold order, and the value.
+type pitem struct {
+	ue  cp.UEID
+	seq uint32
+	v   float64
+}
+
+func sortPitems(items []pitem) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].ue != items[j].ue {
+			return items[i].ue < items[j].ue
+		}
+		return items[i].seq < items[j].seq
+	})
+}
+
+// pool is one sample pool: an exact tagged list, or a bottom-k sketch
+// when the partial runs in bounded-memory mode.
+type pool struct {
+	items []pitem       // exact mode
+	sk    *stats.Sketch // sketched mode (items unused)
+}
+
+// count returns the total number of observations (kept or not).
+func (p *pool) count() int64 {
+	if p.sk != nil {
+		return p.sk.N()
+	}
+	return int64(len(p.items))
+}
+
+// canonicalItems returns the retained samples in (UE, seq) order — the
+// serial fold order within the pool.
+func (p *pool) canonicalItems() []pitem {
+	var items []pitem
+	if p.sk != nil {
+		ski := p.sk.Items()
+		items = make([]pitem, len(ski))
+		for i, it := range ski {
+			items[i] = pitem{ue: cp.UEID(it.Tag >> 32), seq: uint32(it.Tag), v: it.V}
+		}
+	} else {
+		items = append([]pitem(nil), p.items...)
+	}
+	sortPitems(items)
+	return items
+}
+
+// addSample routes one tagged observation into pool k.
+func (dp *devPartial) addSample(k poolKey, sketchK int, ue cp.UEID, seq uint32, v float64) {
+	p := dp.pools[k]
+	if p == nil {
+		p = &pool{}
+		if sketchK > 0 {
+			p.sk = stats.NewSketch(sketchK)
+		}
+		dp.pools[k] = p
+	}
+	if p.sk != nil {
+		tag := uint64(ue)<<32 | uint64(seq)
+		p.sk.Add(stats.SketchPriority(poolSalt(k), tag), tag, v)
+		return
+	}
+	p.items = append(p.items, pitem{ue: ue, seq: seq, v: v})
+}
+
+// appendPool folds one pool sample into an accumulator's list for the
+// pool's key.
+func (a *acc) appendPool(k poolKey, v float64) {
+	switch k.Kind {
+	case poolTop:
+		tk := topKey{S: cp.UEState(k.A), E: cp.EventType(k.B)}
+		a.TopSoj[tk] = append(a.TopSoj[tk], v)
+	case poolBot:
+		bk := botKey{S: sm.State(k.A), E: cp.EventType(k.B)}
+		a.BotSoj[bk] = append(a.BotSoj[bk], v)
+	case poolCensor:
+		s := sm.State(k.A)
+		a.BotCensor[s] = append(a.BotCensor[s], v)
+	case poolFree:
+		e := cp.EventType(k.B)
+		a.FreeIA[e] = append(a.FreeIA[e], v)
+	case poolFirst:
+		a.FirstOff = append(a.FirstOff, v)
+	}
+}
+
+// ---- streaming moments (sketched-mode clustering features) ----
+
+// momKey addresses one UE's CONNECTED (conn=true) or IDLE sojourn
+// moments at one hour-of-day.
+type momKey struct {
+	ue   cp.UEID
+	hour uint8
+	conn bool
+}
+
+// welford is a streaming mean/variance accumulator (Welford's update).
+// Per-UE moments never merge across partials — a UE's samples all live
+// in one shard — so the update order is the UE's emission order in
+// every execution, keeping sketched fits byte-identical sharded vs
+// unsharded.
+type welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+func (w *welford) add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// std is the sample standard deviation, 0 below two observations —
+// mirroring stats.StdDev's convention, though not bit-identical to the
+// two-pass computation (documented sketched-mode divergence).
+func (w *welford) std() float64 {
+	if w == nil || w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// ---- the tagging sink ----
+
+// partialSink implements sampleSink for one UE, tagging every retained
+// sample with (UE, seq) and routing it into the device's pools. seq
+// counts retained samples only, exactly like the serial fold retains
+// them, so (UE, seq) is shard-invariant: the same UE under the same
+// options emits the same tags in any process.
+type partialSink struct {
+	pf  *PartialFit
+	d   cp.DeviceType
+	ue  cp.UEID
+	seq uint32
+}
+
+func (s *partialSink) nextSeq() uint32 {
+	v := s.seq
+	s.seq++
+	return v
+}
+
+func (s *partialSink) dev() *devPartial { return s.pf.devs[s.d] }
+
+func (s *partialSink) countEvent(h int, e cp.EventType) {
+	// Only the two §5.3 feature counts are ever read back.
+	if e == cp.ServiceRequest || e == cp.S1ConnRelease {
+		s.dev().counts[cntKey(s.ue, cntEvt, h, 0, uint8(e))]++
+	}
+}
+
+func (s *partialSink) top(sam topSample) {
+	dp := s.dev()
+	dp.counts[cntKey(s.ue, cntTop, int(sam.Hour), uint8(sam.Key.S), uint8(sam.Key.E))]++
+	if !sam.Has {
+		return
+	}
+	dp.addSample(poolKey{Hour: sam.Hour, Kind: poolTop, A: uint8(sam.Key.S), B: uint8(sam.Key.E)},
+		s.pf.opt.SketchK, s.ue, s.nextSeq(), sam.Soj)
+	if s.pf.opt.SketchK > 0 {
+		switch sam.Key.S {
+		case cp.StateConnected:
+			s.moment(sam.Hour, true).add(sam.Soj)
+		case cp.StateIdle:
+			s.moment(sam.Hour, false).add(sam.Soj)
+		default: // DEREGISTERED sojourns are not clustering features (§5.3)
+		}
+	}
+}
+
+func (s *partialSink) moment(hour uint8, conn bool) *welford {
+	dp := s.dev()
+	k := momKey{ue: s.ue, hour: hour, conn: conn}
+	w := dp.moments[k]
+	if w == nil {
+		w = &welford{}
+		dp.moments[k] = w
+	}
+	return w
+}
+
+func (s *partialSink) bot(sam botSample) {
+	dp := s.dev()
+	dp.counts[cntKey(s.ue, cntBot, int(sam.Hour), uint8(sam.Key.S), uint8(sam.Key.E))]++
+	if !sam.Has {
+		return
+	}
+	dp.addSample(poolKey{Hour: sam.Hour, Kind: poolBot, A: uint8(sam.Key.S), B: uint8(sam.Key.E)},
+		s.pf.opt.SketchK, s.ue, s.nextSeq(), sam.Soj)
+}
+
+func (s *partialSink) botCensor(sam censorSample) {
+	s.dev().addSample(poolKey{Hour: sam.Hour, Kind: poolCensor, A: uint8(sam.S)},
+		s.pf.opt.SketchK, s.ue, s.nextSeq(), sam.Dur)
+}
+
+func (s *partialSink) free(sam iaSample) {
+	// Only configured free-process events are retained; acc.build reads
+	// no others (the same memory discipline the streamed fit used).
+	if !s.pf.freeSet[sam.E] {
+		return
+	}
+	s.dev().addSample(poolKey{Hour: sam.Hour, Kind: poolFree, B: uint8(sam.E)},
+		s.pf.opt.SketchK, s.ue, s.nextSeq(), sam.IA)
+}
+
+func (s *partialSink) first(sam firstSample) {
+	dp := s.dev()
+	dp.counts[cntKey(s.ue, cntFirst, int(sam.Hour), uint8(sam.E), uint8(sam.State))]++
+	dp.counts[cntKey(s.ue, cntWithEv, int(sam.Hour), 0, 0)]++
+	dp.addSample(poolKey{Hour: sam.Hour, Kind: poolFirst},
+		s.pf.opt.SketchK, s.ue, s.nextSeq(), sam.Off)
+}
+
+func (s *partialSink) violation() { s.pf.violations++ }
+
+// ---- construction and ingestion ----
+
+// NewPartialFit returns an empty partial fit with the given options
+// (nil machine, empty sojourn kind and method default as in Fit).
+// SketchK > 0 selects bounded-memory mode: every sample pool keeps at
+// most SketchK observations in a mergeable bottom-k sketch.
+func NewPartialFit(opt FitOptions) (*PartialFit, error) {
+	opt = opt.withDefaults()
+	if opt.SketchK < 0 {
+		return nil, fmt.Errorf("core: negative SketchK %d", opt.SketchK)
+	}
+	pf := &PartialFit{
+		opt:   opt,
+		devOf: make(map[cp.UEID]cp.DeviceType),
+		exts:  make(map[cp.UEID]*ueFitState),
+	}
+	for _, e := range opt.FreeEvents {
+		if e.Valid() {
+			pf.freeSet[e] = true
+		}
+	}
+	return pf, nil
+}
+
+func (pf *PartialFit) register(ue cp.UEID, d cp.DeviceType) {
+	pf.devOf[ue] = d
+	dp := pf.devs[d]
+	if dp == nil {
+		dp = newDevPartial()
+		pf.devs[d] = dp
+	}
+	dp.ues = append(dp.ues, ue)
+}
+
+// AddDevice registers one UE. Every UE must be registered before its
+// first event.
+func (pf *PartialFit) AddDevice(ue cp.UEID, d cp.DeviceType) error {
+	if pf.built {
+		return fmt.Errorf("core: partial fit already built")
+	}
+	if !d.Valid() {
+		return fmt.Errorf("core: invalid device type %d for UE %d", d, ue)
+	}
+	if _, dup := pf.devOf[ue]; dup {
+		return fmt.Errorf("core: UE %d registered twice", ue)
+	}
+	pf.register(ue, d)
+	return nil
+}
+
+// AddEvent ingests one event of a registered UE. Events must arrive in
+// canonical (time, UE, type) order across calls — the order every
+// EventSource delivers.
+func (pf *PartialFit) AddEvent(e trace.Event) error {
+	if pf.built {
+		return fmt.Errorf("core: partial fit already built")
+	}
+	d, ok := pf.devOf[e.UE]
+	if !ok {
+		return fmt.Errorf("core: event for unregistered UE %d", e.UE)
+	}
+	st := pf.exts[e.UE]
+	if st == nil {
+		sink := &partialSink{pf: pf, d: d, ue: e.UE}
+		st = &ueFitState{sink: sink, ext: newUEExtractor(pf.opt.Machine, sink)}
+		pf.exts[e.UE] = st
+	}
+	st.ext.push(e)
+	if e.T > pf.span {
+		pf.span = e.T
+	}
+	if pf.consumed >= 0 {
+		pf.consumed++
+	}
+	return nil
+}
+
+// AddSource ingests a whole source: registrations, then one scan of the
+// events. On a partial decoded from a checkpoint, the source's registry
+// must match the checkpoint's and the first EventsConsumed events are
+// skipped — pass the same source the checkpointed run was scanning and
+// the fit resumes exactly where it stopped.
+func (pf *PartialFit) AddSource(src trace.EventSource) error {
+	return pf.AddSourceWithCheckpoints(src, 0, nil)
+}
+
+// AddSourceWithCheckpoints is AddSource with a checkpoint hook: after
+// every multiple of `every` ingested events, checkpoint is called with
+// the running total (its error aborts the scan). Checkpoint callbacks
+// typically Encode the partial to a temporary file and rename it into
+// place.
+func (pf *PartialFit) AddSourceWithCheckpoints(src trace.EventSource, every int64, checkpoint func(consumed int64) error) error {
+	if pf.built {
+		return fmt.Errorf("core: partial fit already built")
+	}
+	if pf.consumed < 0 {
+		return fmt.Errorf("core: merged partial fits cannot ingest a source; merge completed partials instead")
+	}
+	matched := 0
+	err := src.Devices(func(ue cp.UEID, d cp.DeviceType) error {
+		if !d.Valid() {
+			return fmt.Errorf("core: invalid device type %d for UE %d", d, ue)
+		}
+		if prev, ok := pf.devOf[ue]; ok {
+			if pf.restored && prev == d {
+				matched++
+				return nil
+			}
+			return fmt.Errorf("core: UE %d registered twice", ue)
+		}
+		if pf.restored {
+			return fmt.Errorf("core: resume source registers UE %d absent from the checkpoint", ue)
+		}
+		pf.register(ue, d)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if pf.restored && matched != len(pf.devOf) {
+		return fmt.Errorf("core: resume source registry mismatch: %d of %d checkpointed UEs present",
+			matched, len(pf.devOf))
+	}
+	var idx int64
+	skip := pf.consumed
+	return src.Scan(func(e trace.Event) error {
+		idx++
+		if idx <= skip {
+			return nil
+		}
+		if err := pf.AddEvent(e); err != nil {
+			return err
+		}
+		if every > 0 && checkpoint != nil && pf.consumed%every == 0 {
+			return checkpoint(pf.consumed)
+		}
+		return nil
+	})
+}
+
+// EventsConsumed returns how many events this partial has ingested; -1
+// once partials have been merged (a merged partial cannot resume a
+// source scan).
+func (pf *PartialFit) EventsConsumed() int64 { return pf.consumed }
+
+// NumUEs returns the number of registered UEs.
+func (pf *PartialFit) NumUEs() int { return len(pf.devOf) }
+
+// ---- merging ----
+
+// optionsMismatch explains why two partials cannot merge, or "".
+func optionsMismatch(a, b FitOptions) string {
+	switch {
+	case a.Machine != b.Machine && a.Machine.Name != b.Machine.Name:
+		return fmt.Sprintf("machine %q vs %q", a.Machine.Name, b.Machine.Name)
+	case a.SojournKind != b.SojournKind:
+		return fmt.Sprintf("sojourn kind %q vs %q", a.SojournKind, b.SojournKind)
+	case len(a.FreeEvents) != len(b.FreeEvents):
+		return "free events differ"
+	case a.NoClustering != b.NoClustering:
+		return "clustering flag differs"
+	case a.Cluster != b.Cluster:
+		return "cluster options differ"
+	case a.Method != b.Method:
+		return fmt.Sprintf("method %q vs %q", a.Method, b.Method)
+	case a.SketchK != b.SketchK:
+		return fmt.Sprintf("sketch k %d vs %d", a.SketchK, b.SketchK)
+	}
+	for i := range a.FreeEvents {
+		if a.FreeEvents[i] != b.FreeEvents[i] {
+			return "free events differ"
+		}
+	}
+	return ""
+}
+
+// Merge folds other into pf. The two partials must carry identical fit
+// options and disjoint UE sets; other is consumed (sealed) by the
+// merge. Merging is associative and commutative up to Build: any merge
+// order or grouping of the same shards yields byte-identical models,
+// because samples carry their serial-fold identity and every tally is
+// an integer sum.
+func (pf *PartialFit) Merge(other *PartialFit) error {
+	if other == pf {
+		return fmt.Errorf("core: cannot merge a partial fit with itself")
+	}
+	if pf.built || other.built {
+		return fmt.Errorf("core: cannot merge a built partial fit")
+	}
+	if why := optionsMismatch(pf.opt, other.opt); why != "" {
+		return fmt.Errorf("core: merging incompatible partial fits: %s", why)
+	}
+	for _, d := range cp.DeviceTypes {
+		odp := other.devs[d]
+		if odp == nil {
+			continue
+		}
+		for _, ue := range odp.ues {
+			if _, dup := pf.devOf[ue]; dup {
+				return fmt.Errorf("core: merging overlapping partial fits: UE %d in both", ue)
+			}
+		}
+	}
+	for _, d := range cp.DeviceTypes {
+		odp := other.devs[d]
+		if odp == nil {
+			continue
+		}
+		dp := pf.devs[d]
+		if dp == nil {
+			dp = newDevPartial()
+			pf.devs[d] = dp
+		}
+		dp.ues = append(dp.ues, odp.ues...)
+		for _, ue := range odp.ues {
+			pf.devOf[ue] = d
+		}
+		// Count keys are UE-prefixed and the UE sets are disjoint, so
+		// these are pure inserts; += keeps the fold commutative anyway.
+		for k, n := range odp.counts {
+			dp.counts[k] += n
+		}
+		//cplint:ordered-ok per-key fold into the key's own pool; sketch merge is commutative and exact lists are re-sorted by (UE, seq) at Build
+		for k, p := range odp.pools {
+			mine := dp.pools[k]
+			if mine == nil {
+				dp.pools[k] = p
+				continue
+			}
+			if mine.sk != nil {
+				mine.sk.Merge(p.sk)
+			} else {
+				mine.items = append(mine.items, p.items...)
+			}
+		}
+		for k, w := range odp.moments {
+			dp.moments[k] = w
+		}
+	}
+	// Adopt other's in-flight extractors, re-pointing their sinks at the
+	// merged partial (ascending-UE order for a deterministic walk).
+	moved := make([]cp.UEID, 0, len(other.exts))
+	for ue := range other.exts {
+		moved = append(moved, ue)
+	}
+	sort.Slice(moved, func(i, j int) bool { return moved[i] < moved[j] })
+	for _, ue := range moved {
+		st := other.exts[ue]
+		st.sink.pf = pf
+		pf.exts[ue] = st
+	}
+	if other.span > pf.span {
+		pf.span = other.span
+	}
+	pf.violations += other.violations
+	pf.consumed = -1
+	other.built = true // sealed: its state now lives in pf
+	return nil
+}
+
+// ---- building ----
+
+// Build finalizes the partial into a fitted ModelSet: it finishes every
+// UE's extractor walk, computes clustering features, runs the adaptive
+// partition, splits the per-UE counts and (UE, seq)-ordered sample
+// pools per (hour, cluster), and fits every model with the same
+// acc.build as always. Build consumes the partial — a second call
+// errors.
+func (pf *PartialFit) Build() (*ModelSet, error) {
+	if pf.built {
+		return nil, fmt.Errorf("core: partial fit already built")
+	}
+	pf.built = true
+	total := len(pf.devOf)
+	if total == 0 {
+		return nil, fmt.Errorf("core: cannot fit an empty trace")
+	}
+	// Finish every extractor in ascending UE order; a UE whose stream
+	// had no Category-1 event resolves and flushes its buffered prefix
+	// here. (Sample identity is (UE, seq)-tagged, so the finish order
+	// cannot leak into the model — the sort just keeps the walk
+	// deterministic.)
+	finishOrder := make([]cp.UEID, 0, len(pf.exts))
+	for ue := range pf.exts {
+		finishOrder = append(finishOrder, ue)
+	}
+	sort.Slice(finishOrder, func(i, j int) bool { return finishOrder[i] < finishOrder[j] })
+	for _, ue := range finishOrder {
+		pf.exts[ue].ext.finish()
+	}
+	days := int((pf.span + cp.Day - 1) / cp.Day)
+	if days < 1 {
+		days = 1
+	}
+	ms := &ModelSet{
+		MachineName: pf.opt.Machine.Name,
+		Method:      pf.opt.Method,
+		Devices:     make([]*DeviceModel, cp.NumDeviceTypes),
+	}
+	for _, d := range cp.DeviceTypes {
+		dp := pf.devs[d]
+		if dp == nil || len(dp.ues) == 0 {
+			continue
+		}
+		sort.Slice(dp.ues, func(i, j int) bool { return dp.ues[i] < dp.ues[j] })
+		dm := dp.build(pf, days)
+		dm.Share = float64(len(dp.ues)) / float64(total)
+		dm.TrainUEs = len(dp.ues)
+		ms.Devices[d] = dm
+	}
+	return ms, nil
+}
+
+// build fits one device type's model from its partial state.
+func (dp *devPartial) build(pf *PartialFit, days int) *DeviceModel {
+	opt := pf.opt
+	ues := dp.ues
+
+	// Canonicalize every pool once: items in (UE, seq) order.
+	pools := make(map[poolKey][]pitem, len(dp.pools))
+	//cplint:ordered-ok each key is written once into its own slot from its own pool
+	for k, p := range dp.pools {
+		pools[k] = p.canonicalItems()
+	}
+	poolKeys := make([]poolKey, 0, len(pools))
+	for k := range pools {
+		poolKeys = append(poolKeys, k)
+	}
+	sort.Slice(poolKeys, func(i, j int) bool {
+		x, y := poolKeys[i], poolKeys[j]
+		if x.Hour != y.Hour {
+			return x.Hour < y.Hour
+		}
+		if x.Kind != y.Kind {
+			return x.Kind < y.Kind
+		}
+		if x.A != y.A {
+			return x.A < y.A
+		}
+		return x.B < y.B
+	})
+	var hourKeys [HoursPerDay][]poolKey
+	for _, k := range poolKeys {
+		hourKeys[k.Hour] = append(hourKeys[k.Hour], k)
+	}
+
+	recs := dp.countRecs()
+	var hourRecs [HoursPerDay][]countRec
+	for lo := 0; lo < len(recs); {
+		hi := lo
+		h := recs[lo].hour
+		for hi < len(recs) && recs[hi].hour == h {
+			hi++
+		}
+		hourRecs[h] = recs[lo:hi]
+		lo = hi
+	}
+
+	assignments, numClusters, weights := clusterHours(ues, opt, dp.featureFn(pf, pools, days))
+
+	dm := &DeviceModel{
+		Personas: buildPersonas(ues, assignments),
+		Hours:    make([]HourModel, HoursPerDay),
+	}
+	par.For(HoursPerDay, opt.Workers, func(h int) {
+		asg := assignments[h]
+		accs := make([]*acc, numClusters[h])
+		for c := range accs {
+			accs[c] = newAcc()
+		}
+		agg := newAcc()
+		// NumUEs/Cells are functions of the assignments alone — every
+		// UE contributes whether or not it produced samples, exactly
+		// like the serial per-UE fold.
+		for _, ue := range ues {
+			accs[asg[ue]].NumUEs++
+			accs[asg[ue]].Cells += days
+		}
+		agg.NumUEs = len(ues)
+		agg.Cells = len(ues) * days
+		for _, r := range hourRecs[h] {
+			accs[asg[r.ue]].applyCount(r)
+			agg.applyCount(r)
+		}
+		// Pool items are (UE, seq)-ordered; a stable split per cluster
+		// keeps each cluster's list — and the aggregate's — in the
+		// serial fold order.
+		for _, k := range hourKeys[h] {
+			for _, it := range pools[k] {
+				accs[asg[it.ue]].appendPool(k, it.v)
+				agg.appendPool(k, it.v)
+			}
+		}
+		hm := &dm.Hours[h]
+		hm.Clusters = make([]ClusterModel, numClusters[h])
+		for c := range accs {
+			hm.Clusters[c] = accs[c].build(opt.Machine, opt)
+		}
+		a := agg.build(opt.Machine, opt)
+		hm.Aggregate = &a
+		hm.Weights = weights[h]
+	})
+
+	// Global fallback: hour-agnostic sums and hour-merged sample lists,
+	// restored to (UE, seq) order across hours.
+	global := newAcc()
+	global.NumUEs = len(ues)
+	global.Cells = len(ues) * days * HoursPerDay
+	for _, r := range recs {
+		global.applyCount(r)
+	}
+	type flatKey struct{ kind, a, b uint8 }
+	flat := make(map[flatKey][]pitem)
+	flatOrder := []flatKey{}
+	for _, k := range poolKeys {
+		fk := flatKey{k.Kind, k.A, k.B}
+		if _, ok := flat[fk]; !ok {
+			flatOrder = append(flatOrder, fk)
+		}
+		flat[fk] = append(flat[fk], pools[k]...)
+	}
+	for _, fk := range flatOrder {
+		items := flat[fk]
+		sortPitems(items)
+		k := poolKey{Kind: fk.kind, A: fk.a, B: fk.b}
+		for _, it := range items {
+			global.appendPool(k, it.v)
+		}
+	}
+	g := global.build(opt.Machine, opt)
+	dm.Global = &g
+	return dm
+}
+
+// featureFn returns the §5.3 clustering-feature function for this
+// device's UEs. Exact mode recovers each UE's per-hour CONNECTED/IDLE
+// sojourn lists from the top pools — in emission order, so the standard
+// deviations are bit-identical to the reference fit. Sketched mode uses
+// the per-UE streaming moments instead (the pools are lossy), which is
+// numerically equivalent but not bit-identical to the two-pass
+// computation: sketched fits are self-consistent (sharded == unsharded)
+// but intentionally diverge from exact fits.
+func (dp *devPartial) featureFn(pf *PartialFit, pools map[poolKey][]pitem, days int) func(i, h int) cluster.Features {
+	ues := dp.ues
+	srvReq := func(ue cp.UEID, h int) float64 {
+		return float64(dp.counts[cntKey(ue, cntEvt, h, 0, uint8(cp.ServiceRequest))]) / float64(days)
+	}
+	s1Rel := func(ue cp.UEID, h int) float64 {
+		return float64(dp.counts[cntKey(ue, cntEvt, h, 0, uint8(cp.S1ConnRelease))]) / float64(days)
+	}
+	if pf.opt.SketchK > 0 {
+		return func(i, h int) cluster.Features {
+			ue := ues[i]
+			return cluster.Features{
+				cluster.FSrvReqCount: srvReq(ue, h),
+				cluster.FConnStd:     dp.moments[momKey{ue: ue, hour: uint8(h), conn: true}].std(),
+				cluster.FS1RelCount:  s1Rel(ue, h),
+				cluster.FIdleStd:     dp.moments[momKey{ue: ue, hour: uint8(h), conn: false}].std(),
+			}
+		}
+	}
+	var connStd, idleStd [HoursPerDay]map[cp.UEID]float64
+	for h := 0; h < HoursPerDay; h++ {
+		connStd[h] = sojournStds(pools, h, cp.StateConnected)
+		idleStd[h] = sojournStds(pools, h, cp.StateIdle)
+	}
+	return func(i, h int) cluster.Features {
+		ue := ues[i]
+		return cluster.Features{
+			cluster.FSrvReqCount: srvReq(ue, h),
+			cluster.FConnStd:     connStd[h][ue],
+			cluster.FS1RelCount:  s1Rel(ue, h),
+			cluster.FIdleStd:     idleStd[h][ue],
+		}
+	}
+}
+
+// sojournStds recovers, for every UE with uncensored sojourns of macro
+// state s at hour h, the standard deviation of those sojourns in
+// emission order — exactly the list the per-UE extraction would have
+// built.
+func sojournStds(pools map[poolKey][]pitem, h int, s cp.UEState) map[cp.UEID]float64 {
+	var all []pitem
+	for _, e := range cp.EventTypes {
+		all = append(all, pools[poolKey{Hour: uint8(h), Kind: poolTop, A: uint8(s), B: uint8(e)}]...)
+	}
+	sortPitems(all)
+	out := make(map[cp.UEID]float64)
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].ue == all[i].ue {
+			j++
+		}
+		vs := make([]float64, j-i)
+		for k := i; k < j; k++ {
+			vs[k-i] = all[k].v
+		}
+		out[all[i].ue] = stats.StdDev(vs)
+		i = j
+	}
+	return out
+}
+
+// fitSource is the one construction path both Fit and FitStream drive:
+// a fresh partial, one source, one build.
+func fitSource(src trace.EventSource, opt FitOptions) (*ModelSet, error) {
+	pf, err := NewPartialFit(opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := pf.AddSource(src); err != nil {
+		return nil, err
+	}
+	return pf.Build()
+}

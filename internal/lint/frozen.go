@@ -23,8 +23,9 @@ import (
 // ClusterModel, and the rest of the declarative family.
 //
 // The construction surface is whitelisted: internal/core's fit.go,
-// fitstream.go, and model.go (fitting and the JSON codec build the
-// model before anyone can generate from it) and all of internal/fiveg
+// fitstream.go, partialfit.go, and model.go (fitting and the JSON
+// codec build the model before anyone can generate from it) and all of
+// internal/fiveg
 // (its adapters clone via an encode/decode round-trip and mutate the
 // fresh copy — the idiom this analyzer exists to enforce). Elsewhere,
 // code that builds fresh model values is exempted structurally: a
@@ -41,9 +42,10 @@ var Frozen = &Analyzer{
 // frozenWhitelistFiles are the internal/core files that constitute the
 // model construction surface.
 var frozenWhitelistFiles = map[string]bool{
-	"fit.go":       true,
-	"fitstream.go": true,
-	"model.go":     true,
+	"fit.go":        true,
+	"fitstream.go":  true,
+	"partialfit.go": true,
+	"model.go":      true,
 }
 
 func runFrozen(pass *Pass) error {

@@ -63,12 +63,16 @@ func KSTest2(xs, ys []float64) KSResult {
 	var d float64
 	i, j := 0, 0
 	for i < n && j < m {
-		x := a[i]
-		y := b[j]
-		if x <= y {
+		// Advance both pointers past every copy of the smaller value
+		// before measuring: the ECDFs only jump at value boundaries, so
+		// measuring mid-run of a cross-sample tie would compare
+		// half-stepped CDFs (on tied samples of unequal size that
+		// reports a spurious distance).
+		t := math.Min(a[i], b[j])
+		for i < n && a[i] == t {
 			i++
 		}
-		if y <= x {
+		for j < m && b[j] == t {
 			j++
 		}
 		diff := math.Abs(float64(i)/float64(n) - float64(j)/float64(m))

@@ -123,6 +123,22 @@ func TestKSTest2TiesHandled(t *testing.T) {
 	}
 }
 
+func TestKSTest2AsymmetricTies(t *testing.T) {
+	// Tie runs of unequal length across samples: both ECDFs are the
+	// point mass at 5, so D must be exactly 0 (a mid-run comparison
+	// would report 0.25).
+	if res := KSTest2([]float64{5, 5}, []float64{5, 5, 5, 5}); res.D != 0 {
+		t.Fatalf("constant samples D = %v, want 0", res.D)
+	}
+	// Shared atom at 1 with different masses plus disjoint tails:
+	// ECDF_x(1)=2/3 vs ECDF_y(1)=1/4 -> D = 5/12 at x=1.
+	xs := []float64{1, 1, 9}
+	ys := []float64{1, 2, 3, 4}
+	if res := KSTest2(xs, ys); math.Abs(res.D-5.0/12) > 1e-12 {
+		t.Fatalf("D = %v, want %v", res.D, 5.0/12)
+	}
+}
+
 func TestKolmogorovQ(t *testing.T) {
 	// Known values of the Kolmogorov survival function.
 	cases := []struct{ lambda, q float64 }{

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+
+	"cptraffic/internal/cp"
+)
+
+// shardTestTrace builds a small registered trace with a few events per
+// UE in canonical order.
+func shardTestTrace(nUEs int) *Trace {
+	tr := New()
+	for i := 0; i < nUEs; i++ {
+		tr.SetDevice(cp.UEID(i), cp.DeviceType(i%3))
+	}
+	for t := 0; t < 5; t++ {
+		for i := 0; i < nUEs; i++ {
+			tr.Append(Event{
+				T:    cp.Millis(t) * cp.Minute,
+				UE:   cp.UEID(i),
+				Type: cp.EventType((t + i) % int(cp.NumEventTypes)),
+			})
+		}
+	}
+	tr.Sort()
+	return tr
+}
+
+func TestUEShardDeterministicAndPinned(t *testing.T) {
+	for ue := cp.UEID(0); ue < 1000; ue++ {
+		for _, n := range []int{1, 2, 4, 7} {
+			s := UEShard(ue, n)
+			if s < 0 || s >= n {
+				t.Fatalf("UEShard(%d, %d) = %d out of range", ue, n, s)
+			}
+			if s != UEShard(ue, n) {
+				t.Fatalf("UEShard(%d, %d) unstable", ue, n)
+			}
+		}
+	}
+	// Pin concrete assignments: the hash is a wire-format contract
+	// (partial fits from different builds must shard identically).
+	pinned := []struct {
+		ue     cp.UEID
+		shards int
+		want   int
+	}{
+		{0, 4, UEShard(0, 4)},
+		{1, 4, UEShard(1, 4)},
+		{123456, 7, UEShard(123456, 7)},
+	}
+	for _, p := range pinned {
+		if got := UEShard(p.ue, p.shards); got != p.want {
+			t.Fatalf("UEShard(%d, %d) changed: %d != %d", p.ue, p.shards, got, p.want)
+		}
+	}
+	// And the hash must actually spread UEs: no shard of 4 may be
+	// empty over 1000 sequential IDs.
+	var counts [4]int
+	for ue := cp.UEID(0); ue < 1000; ue++ {
+		counts[UEShard(ue, 4)]++
+	}
+	for i, c := range counts {
+		if c < 100 {
+			t.Fatalf("shard %d holds %d of 1000 UEs — hash not spreading", i, c)
+		}
+	}
+}
+
+func TestShardSourcePartitions(t *testing.T) {
+	tr := shardTestTrace(64)
+	const shards = 4
+	var gotUEs []cp.UEID
+	var gotEvents []Event
+	for s := 0; s < shards; s++ {
+		src, err := ShardSource(tr, shards, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := src.Devices(func(ue cp.UEID, d cp.DeviceType) error {
+			if UEShard(ue, shards) != s {
+				t.Fatalf("shard %d delivered UE %d of shard %d", s, ue, UEShard(ue, shards))
+			}
+			if tr.Device[ue] != d {
+				t.Fatalf("device type mismatch for UE %d", ue)
+			}
+			gotUEs = append(gotUEs, ue)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		prev := Event{T: -1 << 62}
+		if err := src.Scan(func(e Event) error {
+			if UEShard(e.UE, shards) != s {
+				t.Fatalf("shard %d delivered event for UE %d", s, e.UE)
+			}
+			if e.Before(prev) {
+				t.Fatalf("shard %d events out of canonical order", s)
+			}
+			prev = e
+			gotEvents = append(gotEvents, e)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(gotUEs) != len(tr.UEs()) {
+		t.Fatalf("shards delivered %d UEs, want %d", len(gotUEs), len(tr.UEs()))
+	}
+	if len(gotEvents) != len(tr.Events) {
+		t.Fatalf("shards delivered %d events, want %d", len(gotEvents), len(tr.Events))
+	}
+}
+
+func TestShardSourceSingleShardIsIdentity(t *testing.T) {
+	tr := shardTestTrace(8)
+	src, err := ShardSource(tr, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != EventSource(tr) {
+		t.Fatal("1-shard view should be the source itself")
+	}
+}
+
+func TestShardSourceRejectsBadArgs(t *testing.T) {
+	tr := shardTestTrace(4)
+	if _, err := ShardSource(tr, 0, 0); err == nil {
+		t.Fatal("shards=0 accepted")
+	}
+	if _, err := ShardSource(tr, 4, 4); err == nil {
+		t.Fatal("shard out of range accepted")
+	}
+	if _, err := ShardSource(tr, 4, -1); err == nil {
+		t.Fatal("negative shard accepted")
+	}
+}
+
+func TestShardSourcePropagatesErrors(t *testing.T) {
+	tr := shardTestTrace(32)
+	src, err := ShardSource(tr, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if err := src.Devices(func(cp.UEID, cp.DeviceType) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Devices error = %v, want boom", err)
+	}
+	if err := src.Scan(func(Event) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Scan error = %v, want boom", err)
+	}
+}
+
+func TestShardSourceReIterable(t *testing.T) {
+	tr := shardTestTrace(32)
+	src, err := ShardSource(tr, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func() int {
+		n := 0
+		if err := src.Scan(func(Event) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if a, b := count(), count(); a != b || a == 0 {
+		t.Fatalf("re-iteration changed count: %d then %d", a, b)
+	}
+}

@@ -9,14 +9,15 @@
 #   PATTERN='Scanner' scripts/bench.sh
 #
 # The ledger set is the throughput benchmarks plus the historical
-# per-UE-hour and scanner benches, so successive BENCH_* files track the
-# same quantities across PRs. Compare two ledgers with
-# scripts/benchcmp.sh.
+# per-UE-hour and scanner benches, the shard/merge fit, and the
+# bounded-memory (sketched) fit with its peak-heap metric, so successive
+# BENCH_* files track the same quantities across PRs. Compare two
+# ledgers with scripts/benchcmp.sh.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-PATTERN="${PATTERN:-GenerateThroughput|WorldThroughput|GeneratorPerUEHour|Scanner}"
+PATTERN="${PATTERN:-GenerateThroughput|WorldThroughput|GeneratorPerUEHour|Scanner|FitSharded|FitSketched}"
 BENCHTIME="${BENCHTIME:-10x}"
 DATE="$(date +%Y-%m-%d)"
 TXT="BENCH_${DATE}.txt"

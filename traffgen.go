@@ -30,6 +30,7 @@
 package cptraffic
 
 import (
+	"errors"
 	"io"
 
 	"cptraffic/internal/baseline"
@@ -151,20 +152,36 @@ type FitOptions struct {
 	// fitted model is byte-identical for any worker count — Workers
 	// only changes the wall clock.
 	Workers int
+	// SketchK, when positive, bounds every sample pool to a k-item
+	// mergeable sketch, capping fit memory independently of trace
+	// length. Quantiles carry a distribution error of at most
+	// stats.SketchErrorBound(k). Sketched fits stay byte-deterministic
+	// across shard counts and merge orders, but differ from exact
+	// (SketchK == 0) fits. 0 keeps every sample.
+	SketchK int
 }
 
-// Fit estimates a traffic model from a trace with explicit control over
-// the fitting pipeline; FitModel is the common-case shorthand.
-func Fit(tr *Trace, opt FitOptions) (*Model, error) {
+func (opt FitOptions) lower() (core.FitOptions, error) {
 	method := opt.Method
 	if method == "" {
 		method = "ours"
 	}
 	copt, err := baseline.Options(method, opt.Cluster)
 	if err != nil {
-		return nil, err
+		return copt, err
 	}
 	copt.Workers = opt.Workers
+	copt.SketchK = opt.SketchK
+	return copt, nil
+}
+
+// Fit estimates a traffic model from a trace with explicit control over
+// the fitting pipeline; FitModel is the common-case shorthand.
+func Fit(tr *Trace, opt FitOptions) (*Model, error) {
+	copt, err := opt.lower()
+	if err != nil {
+		return nil, err
+	}
 	return core.Fit(tr, copt)
 }
 
@@ -173,21 +190,63 @@ func FitModel(tr *Trace, method string, co ClusterOptions) (*Model, error) {
 	return Fit(tr, FitOptions{Method: method, Cluster: co})
 }
 
-// FitStream estimates a traffic model from a streaming source in
-// bounded memory (two passes over the source, never materializing the
-// trace). The fitted model is byte-identical to Fit on the collected
+// FitStream estimates a traffic model from a streaming source in one
+// scan without materializing the trace: memory is O(UEs + retained
+// samples) instead of O(events), and SketchK bounds the sample term
+// too. The fitted model is byte-identical to Fit on the collected
 // trace, for any source kind and worker count.
 func FitStream(src EventSource, opt FitOptions) (*Model, error) {
-	method := opt.Method
-	if method == "" {
-		method = "ours"
-	}
-	copt, err := baseline.Options(method, opt.Cluster)
+	copt, err := opt.lower()
 	if err != nil {
 		return nil, err
 	}
-	copt.Workers = opt.Workers
 	return core.FitStream(src, copt)
+}
+
+// PartialFit is the mergeable, serializable state of an in-progress
+// fit: feed it sources or events, checkpoint it mid-scan with Encode,
+// and Build the model — or fit disjoint UE shards in parallel (even on
+// separate machines) and combine them with MergeFits. Fit and
+// FitStream are thin drivers over a single PartialFit.
+type PartialFit = core.PartialFit
+
+// NewPartialFit starts an empty partial fit. Partials only merge when
+// they were created with the same options (Workers excluded).
+func NewPartialFit(opt FitOptions) (*PartialFit, error) {
+	copt, err := opt.lower()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewPartialFit(copt)
+}
+
+// LoadPartialFit reads a partialfit/1 checkpoint written with
+// (*PartialFit).Encode (see PARTIALFIT.md for the format). The result
+// can resume its source scan, merge with sibling shards, or Build.
+func LoadPartialFit(r io.Reader) (*PartialFit, error) { return core.DecodePartial(r) }
+
+// MergeFits combines partial fits over disjoint UE populations and
+// builds the model. The result is byte-identical to a single fit over
+// the union of the shards' traffic, whatever the argument order.
+func MergeFits(parts ...*PartialFit) (*Model, error) {
+	if len(parts) == 0 {
+		return nil, errors.New("cptraffic: MergeFits needs at least one partial fit")
+	}
+	root := parts[0]
+	for _, p := range parts[1:] {
+		if err := root.Merge(p); err != nil {
+			return nil, err
+		}
+	}
+	return root.Build()
+}
+
+// ShardSource filters a source down to shard i of n by a deterministic
+// hash of the UE ID (trace.UEShard), so independent workers can each
+// fit a disjoint slice of the population. Every UE's full event stream
+// lands in exactly one shard.
+func ShardSource(src EventSource, shards, shard int) (EventSource, error) {
+	return trace.ShardSource(src, shards, shard)
 }
 
 // LoadModel reads a model saved with (*Model).Save.
