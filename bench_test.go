@@ -533,6 +533,83 @@ func BenchmarkScanner(b *testing.B) {
 	})
 }
 
+// BenchmarkStreamThroughput measures the streaming generate→write
+// pipeline end to end (generator source into the binary writer), in the
+// ledger's units, for the per-event path (trace.Copy) and the batched
+// path (trace.CopyBatches). The two produce identical bytes
+// (TestBatchedMatchesStreamed); the delta is pure pipeline overhead.
+func BenchmarkStreamThroughput(b *testing.B) {
+	l := lab(b)
+	models, err := l.Models()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms := models["ours"]
+	for _, path := range []struct {
+		name string
+		copy func(trace.EventSink, trace.EventSource) error
+	}{
+		{"batched", trace.CopyBatches},
+		{"perevent", trace.Copy},
+	} {
+		b.Run(path.name, func(b *testing.B) {
+			events := 0
+			b.ResetTimer()
+			m0 := mallocs()
+			for i := 0; i < b.N; i++ {
+				src, err := core.NewSource(ms, core.GenOptions{
+					NumUEs:    2000,
+					StartHour: 18,
+					Duration:  cp.Hour,
+					Seed:      uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sw := trace.NewStreamWriter(io.Discard)
+				cs := newBenchCountingSink(sw)
+				if err := path.copy(cs, src); err != nil {
+					b.Fatal(err)
+				}
+				if err := sw.Close(); err != nil {
+					b.Fatal(err)
+				}
+				events += cs.events
+			}
+			allocs := mallocs() - m0
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+			b.ReportMetric(float64(allocs)/float64(events), "allocs/event")
+		})
+	}
+}
+
+// benchCountingSink tallies events while forwarding whole batches to
+// the writer's native batched face, so counting costs one call per
+// batch on the batched path rather than one per event.
+type benchCountingSink struct {
+	sink   trace.EventSink
+	bsink  trace.BatchSink
+	events int
+}
+
+func newBenchCountingSink(sink trace.EventSink) *benchCountingSink {
+	return &benchCountingSink{sink: sink, bsink: trace.AsBatchSink(sink)}
+}
+
+func (c *benchCountingSink) SetDevice(ue cp.UEID, d cp.DeviceType) error {
+	return c.sink.SetDevice(ue, d)
+}
+
+func (c *benchCountingSink) Write(e trace.Event) error {
+	c.events++
+	return c.sink.Write(e)
+}
+
+func (c *benchCountingSink) WriteBatch(batch *trace.Batch) error {
+	c.events += batch.Len()
+	return c.bsink.WriteBatch(batch)
+}
+
 // BenchmarkMMEThroughput measures how fast the simulated core consumes
 // control events.
 func BenchmarkMMEThroughput(b *testing.B) {

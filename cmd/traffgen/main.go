@@ -260,10 +260,17 @@ func renumberUEs(tr *trace.Trace, offset cp.UEID) *trace.Trace {
 	return out
 }
 
-// countingSink wraps an EventSink, tallying what passes through.
+// countingSink wraps an EventSink, tallying what passes through. It
+// forwards whole batches to the writer's native batched face, so
+// counting does not force the stream back onto the per-event path.
 type countingSink struct {
 	sink        trace.EventSink
+	bsink       trace.BatchSink
 	ues, events int
+}
+
+func newCountingSink(sink trace.EventSink) *countingSink {
+	return &countingSink{sink: sink, bsink: trace.AsBatchSink(sink)}
 }
 
 func (c *countingSink) SetDevice(ue cp.UEID, d cp.DeviceType) error {
@@ -276,8 +283,15 @@ func (c *countingSink) Write(e trace.Event) error {
 	return c.sink.Write(e)
 }
 
-// streamOut copies src into w in the chosen format, returning the
-// counts for the summary line.
+func (c *countingSink) WriteBatch(b *trace.Batch) error {
+	c.events += b.Len()
+	return c.bsink.WriteBatch(b)
+}
+
+// streamOut copies src into w in the chosen format over the batched
+// pipeline — the source fills struct-of-arrays batches and the writer
+// drains them whole — returning the counts for the summary line. The
+// bytes are identical to the per-event path (test-enforced).
 func streamOut(w io.Writer, src trace.EventSource, binary bool) (ues, events int, err error) {
 	var sink trace.EventSink
 	var closeFn func() error
@@ -288,8 +302,8 @@ func streamOut(w io.Writer, src trace.EventSource, binary bool) (ues, events int
 		tw := trace.NewTextWriter(w)
 		sink, closeFn = tw, tw.Close
 	}
-	cs := &countingSink{sink: sink}
-	if err := trace.Copy(cs, src); err != nil {
+	cs := newCountingSink(sink)
+	if err := trace.CopyBatches(cs, src); err != nil {
 		return 0, 0, err
 	}
 	return cs.ues, cs.events, closeFn()

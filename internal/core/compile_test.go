@@ -144,6 +144,6 @@ func TestUEGenSteadyStateAllocs(t *testing.T) {
 			t.Errorf("%s: steady-state Next allocates %.4f allocs/event, want <= %.4f", name, avg, limit)
 		}
 	}
-	measure("compiled", newUEGen(cm, cm.dev(dev), 1, stats.NewRNG(1), 0, end), 0)
+	measure("compiled", newUEGen(cm, cm.dev(dev), 1, stats.NewRNGVal(1), 0, end), 0)
 	measure("interpreted", newUEInterp(machine, ms.Device(dev), 1, stats.NewRNG(1), 0, end), 0.05)
 }

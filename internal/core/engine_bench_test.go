@@ -25,11 +25,11 @@ func BenchmarkEngineStep(b *testing.B) {
 	b.Run("compiled", func(b *testing.B) {
 		b.ReportAllocs()
 		seed := uint64(1)
-		g := newUEGen(cm, cd, 1, stats.NewRNG(seed), 0, window)
+		g := newUEGen(cm, cd, 1, stats.NewRNGVal(seed), 0, window)
 		for i := 0; i < b.N; i++ {
 			if _, ok := g.Next(); !ok {
 				seed++
-				g = newUEGen(cm, cd, 1, stats.NewRNG(seed), 0, window)
+				g = newUEGen(cm, cd, 1, stats.NewRNGVal(seed), 0, window)
 			}
 		}
 	})

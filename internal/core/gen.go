@@ -65,32 +65,39 @@ func Generate(ms *ModelSet, opt GenOptions) (*trace.Trace, error) {
 	if !opt.Interpret {
 		cm = ms.lower(machine)
 	}
-	mk := genFactory(ms, machine, cm, t0, end)
 	out := make([][]trace.Event, workers)
-	spans := make([][]trace.Event, len(jobs))
 	par.Do(workers, func(w int) {
-		type span struct{ job, lo, hi int }
 		var evs []trace.Event
-		var marks []span
-		for i := w; i < len(jobs); i += workers {
-			it := mk(jobs[i])
-			if it == nil {
-				continue
-			}
-			lo := len(evs)
-			for {
-				ev, ok := it.Next()
-				if !ok {
-					break
+		if cm != nil {
+			// Compiled fast path: one stack-resident ueGen reused across
+			// every UE of the stripe — zero per-UE allocations, no
+			// interface hop, bulk queue drains.
+			var g ueGen
+			for i := w; i < len(jobs); i += workers {
+				cd := cm.dev(jobs[i].dev)
+				if cd == nil {
+					continue
 				}
-				evs = append(evs, ev)
+				g.init(cm, cd, jobs[i].ue, jobs[i].rng, t0, end)
+				evs = g.drainInto(evs)
 			}
-			marks = append(marks, span{i, lo, len(evs)})
+		} else {
+			mk := genFactory(ms, machine, cm, t0, end)
+			for i := w; i < len(jobs); i += workers {
+				it := mk(jobs[i])
+				if it == nil {
+					continue
+				}
+				for {
+					ev, ok := it.Next()
+					if !ok {
+						break
+					}
+					evs = append(evs, ev)
+				}
+			}
 		}
 		out[w] = evs
-		for _, m := range marks {
-			spans[m.job] = evs[m.lo:m.hi:m.hi]
-		}
 	})
 
 	tr := trace.New()
@@ -101,23 +108,20 @@ func Generate(ms *ModelSet, opt GenOptions) (*trace.Trace, error) {
 	for _, evs := range out {
 		n += len(evs)
 	}
-	// Each per-UE span is already in time order, so the canonical global
-	// order comes from the same k-way merge the streaming path uses — an
-	// O(n log k) interleave instead of a full O(n log n) sort, and
-	// byte-identical to Stream by construction.
+	// Assembly: concatenate the per-worker runs and radix-sort the packed
+	// (T-t0, UE, Type) key — the canonical order is exactly the key's
+	// integer order, so the result is byte-identical to the k-way merge
+	// the streaming path uses, without the O(n log k) comparator work.
+	// The key-width check only fails for pathological spans (centuries)
+	// or UE ids; the comparison sort it falls back to defines the same
+	// order.
 	tr.Events = make([]trace.Event, 0, n)
-	iters := make([]trace.SliceIterator, len(jobs))
-	its := make([]trace.EventIterator, 0, len(jobs))
-	for i, sp := range spans {
-		if len(sp) > 0 {
-			iters[i].Events = sp
-			its = append(its, &iters[i])
-		}
+	for _, evs := range out {
+		tr.Events = append(tr.Events, evs...)
 	}
-	_ = trace.MergeScan(func(ev trace.Event) error {
-		tr.Events = append(tr.Events, ev)
-		return nil
-	}, its)
+	if !trace.RadixSortEvents(tr.Events, t0) {
+		tr.Sort()
+	}
 	return tr, nil
 }
 
@@ -150,8 +154,34 @@ func Stream(ms *ModelSet, opt GenOptions, reg func(cp.UEID, cp.DeviceType) error
 	return mergeJobs(ms, machine, cm, jobs, t0, end, fn)
 }
 
+// compiledGens prepares one slab of per-UE compiled generators for jobs:
+// a single allocation holds every ueGen, initialized in place, so the
+// streaming merge paths carry no per-UE heap objects. The returned slice
+// has one live generator per job with a device model, in job order.
+func compiledGens(cm *compiledModel, jobs []genJob, t0, end cp.Millis) []ueGen {
+	gens := make([]ueGen, len(jobs))
+	m := 0
+	for _, j := range jobs {
+		cd := cm.dev(j.dev)
+		if cd == nil {
+			continue
+		}
+		gens[m].init(cm, cd, j.ue, j.rng, t0, end)
+		m++
+	}
+	return gens[:m]
+}
+
 // mergeJobs k-way merges the per-UE iterators of jobs into fn.
 func mergeJobs(ms *ModelSet, machine *sm.Machine, cm *compiledModel, jobs []genJob, t0, end cp.Millis, fn func(trace.Event) error) error {
+	if cm != nil {
+		gens := compiledGens(cm, jobs, t0, end)
+		its := make([]trace.EventIterator, len(gens))
+		for i := range gens {
+			its[i] = &gens[i]
+		}
+		return trace.MergeScan(fn, its)
+	}
 	mk := genFactory(ms, machine, cm, t0, end)
 	its := make([]trace.EventIterator, 0, len(jobs))
 	for _, j := range jobs {
@@ -160,6 +190,28 @@ func mergeJobs(ms *ModelSet, machine *sm.Machine, cm *compiledModel, jobs []genJ
 		}
 	}
 	return trace.MergeScan(fn, its)
+}
+
+// mergeJobsBatches is the batch-refill counterpart of mergeJobs: the same
+// per-UE streams, interleaved by trace.MergeBatches so the merge makes
+// one NextRun call per ~64 events and one fn call per ~256.
+func mergeJobsBatches(ms *ModelSet, machine *sm.Machine, cm *compiledModel, jobs []genJob, t0, end cp.Millis, fn func(*trace.Batch) error) error {
+	if cm != nil {
+		gens := compiledGens(cm, jobs, t0, end)
+		its := make([]trace.BatchIterator, len(gens))
+		for i := range gens {
+			its[i] = &gens[i]
+		}
+		return trace.MergeBatches(fn, its)
+	}
+	mk := genFactory(ms, machine, cm, t0, end)
+	its := make([]trace.BatchIterator, 0, len(jobs))
+	for _, j := range jobs {
+		if it := mk(j); it != nil {
+			its = append(its, trace.AsBatchIterator(it))
+		}
+	}
+	return trace.MergeBatches(fn, its)
 }
 
 // genFactory returns the per-UE iterator builder for the selected
@@ -174,7 +226,8 @@ func genFactory(ms *ModelSet, machine *sm.Machine, cm *compiledModel, t0, end cp
 			if dm == nil {
 				return nil
 			}
-			return newUEInterp(machine, dm, j.ue, j.rng, t0, end)
+			rng := j.rng
+			return newUEInterp(machine, dm, j.ue, &rng, t0, end)
 		}
 	}
 	return func(j genJob) trace.EventIterator {
@@ -235,11 +288,25 @@ func (s *Source) Scan(fn func(trace.Event) error) error {
 	return mergeJobs(s.ms, machine, s.cm, jobs, t0, end, fn)
 }
 
-// genJob is one UE's generation assignment.
+// ScanBatches implements trace.BatchSource natively: the per-UE
+// generators fill merge runs directly (one interface call per ~64 events)
+// and events are delivered in reused struct-of-arrays batches. The event
+// sequence is byte-identical to Scan's (TestBatchedMatchesStreamed).
+func (s *Source) ScanBatches(fn func(*trace.Batch) error) error {
+	jobs, machine, t0, end, _, err := planGeneration(s.ms, s.opt)
+	if err != nil {
+		return err
+	}
+	return mergeJobsBatches(s.ms, machine, s.cm, jobs, t0, end, fn)
+}
+
+// genJob is one UE's generation assignment. The RNG is held by value —
+// the job slice doubles as the arena for per-UE stream state, so planning
+// a million-UE population performs one allocation, not one per UE.
 type genJob struct {
 	ue  cp.UEID
 	dev cp.DeviceType
-	rng *stats.RNG
+	rng stats.RNG
 }
 
 // planGeneration validates options and pre-derives every UE's device and
@@ -268,8 +335,9 @@ func planGeneration(ms *ModelSet, opt GenOptions) ([]genJob, *sm.Machine, cp.Mil
 	root := stats.NewRNG(opt.Seed)
 	jobs := make([]genJob, opt.NumUEs)
 	for i := range jobs {
-		r := root.Split(uint64(i) + 1)
-		jobs[i] = genJob{ue: cp.UEID(i), dev: pickDevice(mix, r), rng: r}
+		jobs[i].ue = cp.UEID(i)
+		jobs[i].rng = root.SplitVal(uint64(i) + 1)
+		jobs[i].dev = pickDevice(mix, &jobs[i].rng)
 	}
 	return jobs, machine, t0, end, workers, nil
 }
@@ -344,7 +412,7 @@ type ueGen struct {
 	cm      *compiledModel
 	cd      *cDevice
 	ue      cp.UEID
-	rng     *stats.RNG
+	rng     stats.RNG // by value: the generator is self-contained, slab-friendly state
 	t0, end cp.Millis
 
 	personaIdx int
@@ -363,22 +431,41 @@ type ueGen struct {
 	freeAt [cp.NumEventTypes]cp.Millis
 	freeOn [cp.NumEventTypes]bool
 
-	// queue holds events already decided but not yet delivered; qhead
-	// is the next to deliver, so the backing array is reused across
-	// flushes.
-	queue []trace.Event
+	// queue holds events already decided but not yet delivered; qhead is
+	// the next to deliver, qlen the fill level. A step pushes at most
+	// ueGenMaxPush events (the flush guard in step bounds case 1 at 8+1)
+	// and the queue always drains fully between steps, so a fixed-size
+	// array suffices — no per-UE heap allocation at all.
+	queue [ueGenQueueCap]trace.Event
 	qhead int
+	qlen  int
 }
+
+// ueGenMaxPush is the most events one startup or step call can push: the
+// case-1 flush guard emits up to 8 sub-machine events plus the top event.
+const ueGenMaxPush = 9
+
+// ueGenQueueCap leaves slack above ueGenMaxPush so the bound is not
+// load-bearing on the exact guard constant.
+const ueGenQueueCap = 12
 
 // newUEGen prepares the compiled iterator; no work happens until the
 // first Next. The persona pick consumes the stream's next draw exactly
 // like DeviceModel.pickPersona.
-func newUEGen(cm *compiledModel, cd *cDevice, ue cp.UEID, rng *stats.RNG, t0, end cp.Millis) *ueGen {
-	g := &ueGen{cm: cm, cd: cd, ue: ue, rng: rng, t0: t0, end: end, personaIdx: -1}
-	if len(cd.personaCum) > 0 {
-		g.personaIdx = pickByCum(cd.personaCum, rng.Float64())
-	}
+func newUEGen(cm *compiledModel, cd *cDevice, ue cp.UEID, rng stats.RNG, t0, end cp.Millis) *ueGen {
+	g := &ueGen{}
+	g.init(cm, cd, ue, rng, t0, end)
 	return g
+}
+
+// init (re)initializes the generator in place, so per-worker code can
+// reuse one ueGen value — or a slab of them — across the whole
+// population instead of heap-allocating one per UE.
+func (g *ueGen) init(cm *compiledModel, cd *cDevice, ue cp.UEID, rng stats.RNG, t0, end cp.Millis) {
+	*g = ueGen{cm: cm, cd: cd, ue: ue, rng: rng, t0: t0, end: end, personaIdx: -1}
+	if len(cd.personaCum) > 0 {
+		g.personaIdx = pickByCum(cd.personaCum, g.rng.Float64())
+	}
 }
 
 // pickByCum returns the first index whose cumulative probability
@@ -399,11 +486,11 @@ func pickByCum(cum []float64, u float64) int {
 //cplint:hotpath compiled engine steady state; TestUEGenSteadyStateAllocs gates it at exactly 0 allocs
 func (g *ueGen) Next() (trace.Event, bool) {
 	for {
-		if g.qhead < len(g.queue) {
+		if g.qhead < g.qlen {
 			ev := g.queue[g.qhead]
 			g.qhead++
-			if g.qhead == len(g.queue) {
-				g.queue, g.qhead = g.queue[:0], 0
+			if g.qhead == g.qlen {
+				g.qhead, g.qlen = 0, 0
 			}
 			g.emitted++
 			return ev, true
@@ -419,6 +506,63 @@ func (g *ueGen) Next() (trace.Event, bool) {
 	}
 }
 
+// drainInto runs the generator to exhaustion, appending every event to
+// evs — the bulk counterpart of looping Next used by Generate's workers.
+// Queued events move with one bounded copy per step instead of a pop per
+// event, and nothing crosses an interface.
+//
+//cplint:hotpath the batch drain: one bulk append per engine step
+func (g *ueGen) drainInto(evs []trace.Event) []trace.Event {
+	for {
+		if g.qhead < g.qlen {
+			// Queued events deliver unconditionally, exactly like Next;
+			// the safety cap only stops further stepping.
+			evs = append(evs, g.queue[g.qhead:g.qlen]...)
+			g.emitted += g.qlen - g.qhead
+			g.qhead, g.qlen = 0, 0
+			continue
+		}
+		if g.exhausted || g.emitted >= maxEventsPerUE {
+			return evs
+		}
+		if !g.started {
+			g.startup()
+			continue
+		}
+		g.step()
+	}
+}
+
+// NextRun implements trace.BatchIterator: it fills dst with the
+// generator's next events, one engine step at a time, delivering exactly
+// the sequence repeated Next calls would.
+//
+//cplint:hotpath the batched per-UE fill: one call per merge run instead of per event
+func (g *ueGen) NextRun(dst []trace.Event) int {
+	n := 0
+	for n < len(dst) {
+		if g.qhead < g.qlen {
+			dst[n] = g.queue[g.qhead]
+			n++
+			g.qhead++
+			g.emitted++
+			if g.qhead == g.qlen {
+				g.qhead, g.qlen = 0, 0
+			}
+			continue
+		}
+		if g.exhausted || g.emitted >= maxEventsPerUE {
+			break
+		}
+		if !g.started {
+			g.startup()
+			continue
+		}
+		g.step()
+	}
+	return n
+}
+
 // cellAt resolves the compiled parameter cell for time t: the persona's
 // cluster for the hour, with -1 (the fallback cell) when the UE has no
 // persona.
@@ -431,9 +575,10 @@ func (g *ueGen) cellAt(t cp.Millis) *cCell {
 	return &g.cd.cells[h][cl+1]
 }
 
-//cplint:hotpath appends into the reused ring-buffer queue
+//cplint:hotpath writes into the fixed-size staging queue, no allocation ever
 func (g *ueGen) push(t cp.Millis, e cp.EventType) {
-	g.queue = append(g.queue, trace.Event{T: t, UE: g.ue, Type: e})
+	g.queue[g.qlen] = trace.Event{T: t, UE: g.ue, Type: e}
+	g.qlen++
 }
 
 // startup finds the first event (§5.4): a UE silent in one hour re-rolls
@@ -458,7 +603,7 @@ func (g *ueGen) startup() {
 				break
 			}
 		}
-		off := cf.offset.sample(g.rng)
+		off := cf.offset.sample(&g.rng)
 		if off < 0 {
 			off = 0
 		}
@@ -560,7 +705,7 @@ func (g *ueGen) drawTop(now cp.Millis) {
 	if !tp.ok {
 		return
 	}
-	d := math.Max(tp.soj.sample(g.rng), minSojournSec)
+	d := math.Max(tp.soj.sample(&g.rng), minSojournSec)
 	g.topP = pending{at: now + cp.MillisFromSeconds(d), ev: tp.ev, valid: true, toTop: tp.to}
 }
 
@@ -603,7 +748,7 @@ func (g *ueGen) drawBot(now cp.Millis) {
 	if !tp.ok {
 		return
 	}
-	d := math.Max(tp.soj.sample(g.rng), minSojournSec)
+	d := math.Max(tp.soj.sample(&g.rng), minSojournSec)
 	g.botP = pending{at: now + cp.MillisFromSeconds(d), ev: tp.ev, valid: true, toBot: tp.to}
 }
 
@@ -618,7 +763,7 @@ func (g *ueGen) drawFree(now cp.Millis) {
 	free := g.cellAt(now).free
 	for i := range free {
 		fp := &free[i]
-		d := math.Max(fp.inter.sample(g.rng), minSojournSec)
+		d := math.Max(fp.inter.sample(&g.rng), minSojournSec)
 		g.freeAt[fp.ev] = now + cp.MillisFromSeconds(d)
 		g.freeOn[fp.ev] = true
 	}
@@ -630,7 +775,7 @@ func (g *ueGen) redrawOneFree(e cp.EventType, now cp.Millis) {
 	for i := range free {
 		fp := &free[i]
 		if fp.ev == e {
-			d := math.Max(fp.inter.sample(g.rng), minSojournSec)
+			d := math.Max(fp.inter.sample(&g.rng), minSojournSec)
 			g.freeAt[e] = now + cp.MillisFromSeconds(d)
 			g.freeOn[e] = true
 			return

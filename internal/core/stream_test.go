@@ -172,7 +172,7 @@ func TestUEGenIteratorResumable(t *testing.T) {
 		t.Fatal("compiled model lost the phone device")
 	}
 	its := map[string]trace.EventIterator{
-		"compiled":    newUEGen(cm, cd, 1, stats.NewRNG(1), 0, cp.Hour),
+		"compiled":    newUEGen(cm, cd, 1, stats.NewRNGVal(1), 0, cp.Hour),
 		"interpreted": newUEInterp(m, dm, 1, stats.NewRNG(1), 0, cp.Hour),
 	}
 	for name, g := range its {

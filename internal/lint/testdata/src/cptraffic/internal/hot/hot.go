@@ -64,6 +64,46 @@ func Box(n int) {
 	sink(n) // want `argument n is boxed into interface`
 }
 
+// batch mimics the struct-of-arrays event batch: three parallel
+// columns appended in lockstep.
+type batch struct {
+	t  []int64
+	ue []uint32
+	ty []uint8
+}
+
+// FillBatch is the batch-shaped hot function done right: it appends
+// into caller-owned columns reset with col[:0], so the steady state is
+// allocation-free. Reported clean.
+//
+//cplint:hotpath fixture
+func (b *batch) FillBatch(ts []int64, ues []uint32, tys []uint8) {
+	b.t = b.t[:0]
+	b.ue = b.ue[:0]
+	b.ty = b.ty[:0]
+	for i := range ts {
+		b.t = append(b.t, ts[i])
+		b.ue = append(b.ue, ues[i])
+		b.ty = append(b.ty, tys[i])
+	}
+}
+
+// DrainBatch is the batch-shaped anti-pattern: fresh local columns per
+// call, so every drain pays three growing allocations.
+//
+//cplint:hotpath fixture
+func DrainBatch(n int) ([]int64, []uint32, []uint8) {
+	var ts []int64
+	var ues []uint32
+	var tys []uint8
+	for i := 0; i < n; i++ {
+		ts = append(ts, int64(i))    // want `append grows ts, a slice freshly allocated`
+		ues = append(ues, uint32(i)) // want `append grows ues, a slice freshly allocated`
+		tys = append(tys, uint8(i))  // want `append grows tys, a slice freshly allocated`
+	}
+	return ts, ues, tys
+}
+
 // NotHot is Grow without the annotation: never checked.
 func NotHot(n int) []int {
 	out := make([]int, 0, n)

@@ -19,6 +19,16 @@ type RNG struct {
 // NewRNG returns a generator seeded deterministically from seed.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	*r = NewRNGVal(seed)
+	return r
+}
+
+// NewRNGVal is NewRNG without the allocation: it returns the generator by
+// value, for callers that embed RNG state in slab-allocated structures.
+// The state computation is identical to NewRNG, so the two produce the
+// same stream for the same seed.
+func NewRNGVal(seed uint64) RNG {
+	var r RNG
 	sm := seed
 	for i := range r.s {
 		sm, r.s[i] = splitmix64(sm)
@@ -44,6 +54,12 @@ func splitmix64(state uint64) (uint64, uint64) {
 // streams; the parent's own state is not consumed.
 func (r *RNG) Split(n uint64) *RNG {
 	return NewRNG(r.s[0] ^ rotl(r.s[2], 17) ^ (n * 0xD1342543DE82EF95))
+}
+
+// SplitVal is Split by value: the same derived stream with no allocation,
+// for per-UE generator state that lives in per-worker slabs.
+func (r *RNG) SplitVal(n uint64) RNG {
+	return NewRNGVal(r.s[0] ^ rotl(r.s[2], 17) ^ (n * 0xD1342543DE82EF95))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"cptraffic/internal/cp"
+	"cptraffic/internal/stats"
+)
+
+// TestRadixSortMatchesSort is the assembly-identity property: radix
+// sorting over the packed key must produce exactly the slice a
+// comparison sort produces, including heavy duplicate (T, UE, Type)
+// collisions and non-zero offsets.
+func TestRadixSortMatchesSort(t *testing.T) {
+	r := stats.NewRNG(7)
+	cases := []struct {
+		name string
+		n    int
+		tMax int
+		nUEs int
+		t0   cp.Millis
+	}{
+		{"empty", 0, 1, 1, 0},
+		{"single", 1, 1000, 4, 0},
+		{"small", 57, 500, 9, 0},
+		{"dupes", 4000, 50, 3, 0}, // many exact key collisions
+		{"offset", 3000, int(cp.Hour), 257, 36 * cp.Hour},
+		{"wide", 20000, int(24 * cp.Hour), 10007, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			evs := make([]Event, tc.n)
+			for i := range evs {
+				evs[i] = Event{
+					T:    tc.t0 + cp.Millis(r.Intn(tc.tMax)),
+					UE:   cp.UEID(r.Intn(tc.nUEs)),
+					Type: cp.EventType(r.Intn(cp.NumEventTypes)),
+				}
+			}
+			want := Trace{Events: append([]Event(nil), evs...)}
+			want.Sort()
+			if !RadixSortEvents(evs, tc.t0) {
+				t.Fatal("RadixSortEvents refused a fitting key")
+			}
+			if len(evs) != len(want.Events) {
+				t.Fatalf("length changed: %d vs %d", len(evs), len(want.Events))
+			}
+			for i := range evs {
+				if evs[i] != want.Events[i] {
+					t.Fatalf("radix order differs from comparison sort at %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestRadixSortFallback covers the refusal paths: oversized keys and
+// timestamps below the claimed lower bound must report false and leave
+// the slice untouched.
+func TestRadixSortFallback(t *testing.T) {
+	t.Run("key-overflow", func(t *testing.T) {
+		// ~2^62 ms span plus 32 UE bits cannot pack into 64 bits.
+		evs := []Event{
+			{T: 1 << 62, UE: 1<<32 - 1, Type: cp.Attach},
+			{T: 0, UE: 0, Type: cp.Detach},
+		}
+		orig := append([]Event(nil), evs...)
+		if RadixSortEvents(evs, 0) {
+			t.Fatal("accepted a key wider than 64 bits")
+		}
+		if !reflect.DeepEqual(evs, orig) {
+			t.Fatal("refused sort mutated the slice")
+		}
+	})
+	t.Run("below-t0", func(t *testing.T) {
+		evs := []Event{
+			{T: 100, UE: 0, Type: cp.Attach},
+			{T: 5, UE: 1, Type: cp.Attach},
+		}
+		orig := append([]Event(nil), evs...)
+		if RadixSortEvents(evs, 50) {
+			t.Fatal("accepted a timestamp below t0")
+		}
+		if !reflect.DeepEqual(evs, orig) {
+			t.Fatal("refused sort mutated the slice")
+		}
+	})
+	t.Run("trivial", func(t *testing.T) {
+		if !RadixSortEvents(nil, 0) {
+			t.Fatal("empty slice should trivially succeed")
+		}
+		one := []Event{{T: 9, UE: 3, Type: cp.Handover}}
+		if !RadixSortEvents(one, 0) {
+			t.Fatal("single element should trivially succeed")
+		}
+	})
+}

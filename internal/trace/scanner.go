@@ -257,6 +257,26 @@ func (s *Scanner) Scan() bool {
 // overwritten by the next Scan.
 func (s *Scanner) Event() Event { return s.ev }
 
+// ScanBatch resets b and fills it with up to b.Cap() events (growing an
+// empty batch to DefaultBatchSize), reporting whether it decoded any.
+// It is the batched face of Scan: looping ScanBatch yields exactly the
+// events Scan would, DefaultBatchSize at a time, without an interface
+// hop per event. Errors surface through Err as usual.
+//
+//cplint:hotpath the batched ingest loop: decodes straight into the reused batch columns
+func (s *Scanner) ScanBatch(b *Batch) bool {
+	b.Reset()
+	if b.Cap() == 0 {
+		b.Grow(DefaultBatchSize)
+	}
+	for b.Len() < b.Cap() && s.Scan() {
+		b.T = append(b.T, s.ev.T)
+		b.UE = append(b.UE, s.ev.UE)
+		b.Type = append(b.Type, s.ev.Type)
+	}
+	return b.Len() > 0
+}
+
 // Err returns the first error encountered (nil after a clean end).
 func (s *Scanner) Err() error { return s.err }
 
@@ -507,6 +527,18 @@ func (sw *StreamWriter) Write(e Event) error {
 			return err
 		}
 	}
+	sw.appendRecord(e)
+	if sw.chunkN >= streamChunkSize {
+		return sw.flushChunk()
+	}
+	return nil
+}
+
+// appendRecord delta-encodes one already-validated event into the reused
+// chunk buffer and advances the writer's order state.
+//
+//cplint:hotpath runs once per written event; varint appends into the reused chunk buffer
+func (sw *StreamWriter) appendRecord(e Event) {
 	delta := uint64(e.T)
 	if sw.hasLast {
 		delta = uint64(e.T - sw.prevT)
@@ -519,8 +551,39 @@ func (sw *StreamWriter) Write(e Event) error {
 	sw.chunkN++
 	sw.prevT = e.T
 	sw.last, sw.hasLast = e, true
-	if sw.chunkN >= streamChunkSize {
-		return sw.flushChunk()
+}
+
+// WriteBatch appends a whole batch of events, enforcing exactly the
+// per-event Write checks and producing byte-identical output: records
+// accumulate in the same reused chunk buffer and chunks flush at the
+// same streamChunkSize boundaries, so chunk framing is independent of
+// how events were grouped into batches.
+func (sw *StreamWriter) WriteBatch(b *Batch) error {
+	if sw.closed {
+		return fmt.Errorf("trace: Write after Close")
+	}
+	if b.Len() > 0 && !sw.started {
+		if err := sw.writeHeader(); err != nil {
+			return err
+		}
+	}
+	for i := range b.T {
+		e := Event{T: b.T[i], UE: b.UE[i], Type: b.Type[i]}
+		if _, ok := sw.devSet[e.UE]; !ok {
+			return fmt.Errorf("trace: event for unregistered UE %d", e.UE)
+		}
+		if e.T < 0 {
+			return fmt.Errorf("trace: binary format cannot encode negative timestamp %d", e.T)
+		}
+		if sw.hasLast && e.Before(sw.last) {
+			return fmt.Errorf("trace: event %v out of canonical order (after %v)", e, sw.last)
+		}
+		sw.appendRecord(e)
+		if sw.chunkN >= streamChunkSize {
+			if err := sw.flushChunk(); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -667,6 +730,35 @@ func (tw *TextWriter) formatEvent(e Event) []byte {
 	return b
 }
 
+// WriteBatch appends a whole batch of event lines with the same checks
+// and bytes as per-event Writes: each record formats into the reused line
+// buffer, so batching only removes the per-event call overhead.
+func (tw *TextWriter) WriteBatch(b *Batch) error {
+	if tw.closed {
+		return fmt.Errorf("trace: Write after Close")
+	}
+	if b.Len() > 0 {
+		if err := tw.header(); err != nil {
+			return err
+		}
+	}
+	for i := range b.T {
+		e := Event{T: b.T[i], UE: b.UE[i], Type: b.Type[i]}
+		if _, ok := tw.devSet[e.UE]; !ok {
+			return fmt.Errorf("trace: event for unregistered UE %d", e.UE)
+		}
+		if tw.hasLast && e.Before(tw.last) {
+			return fmt.Errorf("trace: event %v out of canonical order (after %v)", e, tw.last)
+		}
+		tw.seenEvent = true
+		tw.last, tw.hasLast = e, true
+		if _, err := tw.bw.Write(tw.formatEvent(e)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Close flushes the buffer; it does not close the underlying writer.
 func (tw *TextWriter) Close() error {
 	if tw.closed {
@@ -740,6 +832,33 @@ func (fs *FileSource) Scan(fn func(Event) error) error {
 		}
 		last, hasLast = ev, true
 		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// ScanBatches implements BatchSource: the file's events decode straight
+// into a reused batch via Scanner.ScanBatch, with the same canonical-order
+// enforcement as Scan applied across batch boundaries.
+func (fs *FileSource) ScanBatches(fn func(*Batch) error) error {
+	f, sc, err := fs.open()
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	b := NewBatch(DefaultBatchSize)
+	var last Event
+	hasLast := false
+	for sc.ScanBatch(b) {
+		for i := range b.T {
+			ev := Event{T: b.T[i], UE: b.UE[i], Type: b.Type[i]}
+			if hasLast && ev.Before(last) {
+				return fmt.Errorf("trace: %s: event %v out of canonical order (after %v)", fs.Path, ev, last)
+			}
+			last, hasLast = ev, true
+		}
+		if err := fn(b); err != nil {
 			return err
 		}
 	}

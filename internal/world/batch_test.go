@@ -1,0 +1,120 @@
+package world
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"cptraffic/internal/cp"
+	"cptraffic/internal/trace"
+)
+
+// TestBatchedMatchesStreamed is the world half of the tentpole identity
+// test: across seeds × workers, the parallel Generate assembly, the
+// per-event Source.Scan, and the native batched Source.ScanBatches must
+// yield the same event sequence, and batched vs per-event writes must
+// produce the same bytes for both codecs.
+func TestBatchedMatchesStreamed(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 99} {
+		for _, workers := range []int{1, 8} {
+			t.Run(fmt.Sprintf("seed=%d/workers=%d", seed, workers), func(t *testing.T) {
+				opt := Options{NumUEs: 90, Duration: 3 * cp.Hour, Seed: seed, Workers: workers}
+				gen, err := Generate(opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				src, err := NewSource(opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var streamed []trace.Event
+				if err := src.Scan(func(e trace.Event) error {
+					streamed = append(streamed, e)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				var batched []trace.Event
+				if err := src.ScanBatches(func(b *trace.Batch) error {
+					batched = b.AppendTo(batched)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if len(gen.Events) == 0 {
+					t.Fatal("simulated no events; test is vacuous")
+				}
+				diff := func(name string, got []trace.Event) {
+					t.Helper()
+					if len(got) != len(gen.Events) {
+						t.Fatalf("%s: %d events, Generate produced %d", name, len(got), len(gen.Events))
+					}
+					for i := range got {
+						if got[i] != gen.Events[i] {
+							t.Fatalf("%s: event %d = %v, Generate produced %v", name, i, got[i], gen.Events[i])
+						}
+					}
+				}
+				diff("Scan", streamed)
+				diff("ScanBatches", batched)
+
+				for _, codec := range []string{"text", "binary"} {
+					mk := func(w *bytes.Buffer) interface {
+						trace.EventSink
+						Close() error
+					} {
+						if codec == "text" {
+							return trace.NewTextWriter(w)
+						}
+						return trace.NewStreamWriter(w)
+					}
+					var perEvent, viaBatches bytes.Buffer
+					w1 := mk(&perEvent)
+					if err := trace.Copy(w1, gen); err != nil {
+						t.Fatal(err)
+					}
+					if err := w1.Close(); err != nil {
+						t.Fatal(err)
+					}
+					w2 := mk(&viaBatches)
+					if err := trace.CopyBatches(w2, src); err != nil {
+						t.Fatal(err)
+					}
+					if err := w2.Close(); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(perEvent.Bytes(), viaBatches.Bytes()) {
+						t.Fatalf("%s: batched source bytes differ from per-event trace bytes", codec)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWorldAllocsPerEvent gates the arena work on the simulator's
+// end-to-end path: at most 0.02 heap allocations per emitted event.
+func TestWorldAllocsPerEvent(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unstable under the race detector")
+	}
+	opt := Options{NumUEs: 200, Duration: 3 * cp.Hour, Seed: 3, Workers: 1}
+	warm, err := Generate(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := len(warm.Events)
+	if events == 0 {
+		t.Fatal("simulated no events; test is vacuous")
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := Generate(opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perEvent := allocs / float64(events)
+	t.Logf("%.0f allocs / %d events = %.5f allocs/event", allocs, events, perEvent)
+	if perEvent > 0.02 {
+		t.Fatalf("allocs/event = %.5f, want <= 0.02", perEvent)
+	}
+}

@@ -81,11 +81,12 @@ func resolveMix(opt Options) ([cp.NumDeviceTypes]float64, error) {
 	return mix, nil
 }
 
-// newUESim derives UE i's RNG stream and device, and prepares its
-// simulator. The device pick consumes the stream's first draw, so the
-// derivation is identical however many times it is repeated.
-func newUESim(opt Options, mix [cp.NumDeviceTypes]float64, root *stats.RNG, i int) (*ueSim, cp.DeviceType) {
-	r := root.Split(uint64(i) + 1)
+// simPlan derives UE i's RNG stream and device. The device pick consumes
+// the stream's first draw, so the derivation is identical however many
+// times it is repeated; the RNG travels by value so per-UE state can live
+// in slabs.
+func simPlan(mix [cp.NumDeviceTypes]float64, root *stats.RNG, i int) (stats.RNG, cp.DeviceType) {
+	r := root.SplitVal(uint64(i) + 1)
 	u := r.Float64()
 	var acc float64
 	dev := cp.Tablet
@@ -96,6 +97,13 @@ func newUESim(opt Options, mix [cp.NumDeviceTypes]float64, root *stats.RNG, i in
 			break
 		}
 	}
+	return r, dev
+}
+
+// init (re)initializes the simulator in place for one UE, keeping the
+// queue's backing array so a worker can reuse one ueSim — or a slab of
+// them — across the population without per-UE allocations.
+func (u *ueSim) init(opt Options, ue cp.UEID, dev cp.DeviceType, rng stats.RNG) {
 	actScale := opt.ActivityScale
 	if actScale == 0 {
 		actScale = 1
@@ -104,15 +112,26 @@ func newUESim(opt Options, mix [cp.NumDeviceTypes]float64, root *stats.RNG, i in
 	if mobScale == 0 {
 		mobScale = 1
 	}
-	return &ueSim{
-		ue:       cp.UEID(i),
+	q := u.queue[:0]
+	*u = ueSim{
+		ue:       ue,
 		p:        &deviceParams[dev],
-		rng:      r,
+		rng:      rng,
 		start:    opt.Offset,
 		end:      opt.Offset + opt.Duration,
 		actScale: actScale,
 		mobScale: mobScale,
-	}, dev
+	}
+	u.queue = q
+}
+
+// newUESim derives UE i's stream and prepares its simulator on the heap —
+// the slab-free convenience form of simPlan + init.
+func newUESim(opt Options, mix [cp.NumDeviceTypes]float64, root *stats.RNG, i int) (*ueSim, cp.DeviceType) {
+	rng, dev := simPlan(mix, root, i)
+	u := &ueSim{}
+	u.init(opt, cp.UEID(i), dev, rng)
+	return u, dev
 }
 
 // Generate simulates the UE population and returns the sorted trace.
@@ -123,38 +142,27 @@ func Generate(opt Options) (*trace.Trace, error) {
 	}
 	workers := par.Workers(opt.Workers, opt.NumUEs)
 
+	// Pre-derive every UE's stream and device serially (the plan), so the
+	// workers share nothing but read-only values.
 	root := stats.NewRNG(opt.Seed)
-	sims := make([]*ueSim, opt.NumUEs)
+	seeds := make([]stats.RNG, opt.NumUEs)
 	devices := make([]cp.DeviceType, opt.NumUEs)
-	for i := range sims {
-		sims[i], devices[i] = newUESim(opt, mix, root, i)
+	for i := range seeds {
+		seeds[i], devices[i] = simPlan(mix, root, i)
 	}
 
 	out := make([][]trace.Event, workers)
-	spans := make([][]trace.Event, opt.NumUEs)
 	par.Do(workers, func(w int) {
-		// Drain each iterator straight into the worker's buffer,
-		// remembering each UE's span: a per-UE intermediate slice would
-		// allocate (and copy) once per UE for no benefit.
-		type span struct{ ue, lo, hi int }
+		// One reused simulator per worker: each UE's state is initialized
+		// in place and drained straight into the worker's buffer — no
+		// per-UE heap objects, no per-event interface hop.
 		var evs []trace.Event
-		var marks []span
+		var sim ueSim
 		for i := w; i < opt.NumUEs; i += workers {
-			u := sims[i]
-			lo := len(evs)
-			for {
-				ev, ok := u.Next()
-				if !ok {
-					break
-				}
-				evs = append(evs, ev)
-			}
-			marks = append(marks, span{i, lo, len(evs)})
+			sim.init(opt, cp.UEID(i), devices[i], seeds[i])
+			evs = sim.drainInto(evs)
 		}
 		out[w] = evs
-		for _, m := range marks {
-			spans[m.ue] = evs[m.lo:m.hi:m.hi]
-		}
 	})
 
 	tr := trace.New()
@@ -165,23 +173,18 @@ func Generate(opt Options) (*trace.Trace, error) {
 	for _, evs := range out {
 		n += len(evs)
 	}
-	// Each per-UE span is already in time order, so the canonical global
-	// order comes from the same k-way merge the streaming Source uses —
-	// an O(n log k) interleave instead of a full O(n log n) sort, and
-	// byte-identical to it by construction.
+	// Assembly: concatenate the per-worker runs and radix-sort the packed
+	// (T-Offset, UE, Type) key — identical bytes to the k-way merge the
+	// streaming Source uses, since the canonical order is exactly the
+	// key's integer order. Pathological spans fall back to a comparison
+	// sort defining the same order.
 	tr.Events = make([]trace.Event, 0, n)
-	iters := make([]trace.SliceIterator, opt.NumUEs)
-	its := make([]trace.EventIterator, 0, opt.NumUEs)
-	for i, sp := range spans {
-		if len(sp) > 0 {
-			iters[i].Events = sp
-			its = append(its, &iters[i])
-		}
+	for _, evs := range out {
+		tr.Events = append(tr.Events, evs...)
 	}
-	_ = trace.MergeScan(func(ev trace.Event) error {
-		tr.Events = append(tr.Events, ev)
-		return nil
-	}, its)
+	if !trace.RadixSortEvents(tr.Events, opt.Offset) {
+		tr.Sort()
+	}
 	return tr, nil
 }
 
@@ -209,7 +212,7 @@ func NewSource(opt Options) (*Source, error) {
 func (s *Source) Devices(fn func(cp.UEID, cp.DeviceType) error) error {
 	root := stats.NewRNG(s.opt.Seed)
 	for i := 0; i < s.opt.NumUEs; i++ {
-		_, dev := newUESim(s.opt, s.mix, root, i)
+		_, dev := simPlan(s.mix, root, i)
 		if err := fn(cp.UEID(i), dev); err != nil {
 			return err
 		}
@@ -217,16 +220,39 @@ func (s *Source) Devices(fn func(cp.UEID, cp.DeviceType) error) error {
 	return nil
 }
 
+// sims prepares one slab of per-UE simulators — a single allocation for
+// the whole population, initialized in place.
+func (s *Source) sims() []ueSim {
+	root := stats.NewRNG(s.opt.Seed)
+	sims := make([]ueSim, s.opt.NumUEs)
+	for i := range sims {
+		rng, dev := simPlan(s.mix, root, i)
+		sims[i].init(s.opt, cp.UEID(i), dev, rng)
+	}
+	return sims
+}
+
 // Scan simulates the population and delivers its events in canonical
 // order.
 func (s *Source) Scan(fn func(trace.Event) error) error {
-	root := stats.NewRNG(s.opt.Seed)
-	its := make([]trace.EventIterator, s.opt.NumUEs)
-	for i := range its {
-		sim, _ := newUESim(s.opt, s.mix, root, i)
-		its[i] = sim
+	sims := s.sims()
+	its := make([]trace.EventIterator, len(sims))
+	for i := range sims {
+		its[i] = &sims[i]
 	}
 	return trace.MergeScan(fn, its)
+}
+
+// ScanBatches implements trace.BatchSource natively: per-UE simulators
+// fill merge runs directly and events arrive in reused struct-of-arrays
+// batches, byte-identical to Scan (TestBatchedMatchesStreamed).
+func (s *Source) ScanBatches(fn func(*trace.Batch) error) error {
+	sims := s.sims()
+	its := make([]trace.BatchIterator, len(sims))
+	for i := range sims {
+		its[i] = &sims[i]
+	}
+	return trace.MergeBatches(fn, its)
 }
 
 // ueSim is the behavioral simulation of one UE, exposed as an
@@ -236,7 +262,7 @@ func (s *Source) Scan(fn func(trace.Event) error) error {
 type ueSim struct {
 	ue    cp.UEID
 	p     *params
-	rng   *stats.RNG
+	rng   stats.RNG // by value: self-contained, slab-friendly state
 	start cp.Millis
 	end   cp.Millis
 
@@ -310,18 +336,71 @@ func (u *ueSim) Next() (trace.Event, bool) {
 			return trace.Event{}, false
 		}
 		if !u.started {
-			u.init()
+			u.start0()
 			continue
 		}
 		u.step()
 	}
 }
 
-// init draws the UE's per-lifetime latent state and initial condition.
-func (u *ueSim) init() {
+// drainInto runs the simulation to exhaustion, appending every event to
+// evs — the bulk counterpart of looping Next used by Generate's workers.
+// Queued events move with one bounded copy per decision instead of a pop
+// per event, and nothing crosses an interface.
+//
+//cplint:hotpath the batch drain: one bulk append per simulation decision
+func (u *ueSim) drainInto(evs []trace.Event) []trace.Event {
+	for {
+		if u.qhead < len(u.queue) {
+			evs = append(evs, u.queue[u.qhead:]...)
+			u.queue, u.qhead = u.queue[:0], 0
+			continue
+		}
+		if u.done {
+			return evs
+		}
+		if !u.started {
+			u.start0()
+			continue
+		}
+		u.step()
+	}
+}
+
+// NextRun implements trace.BatchIterator: it fills dst with the
+// simulation's next events, delivering exactly the sequence repeated
+// Next calls would.
+//
+//cplint:hotpath the batched per-UE fill: one call per merge run instead of per event
+func (u *ueSim) NextRun(dst []trace.Event) int {
+	n := 0
+	for n < len(dst) {
+		if u.qhead < len(u.queue) {
+			dst[n] = u.queue[u.qhead]
+			n++
+			u.qhead++
+			if u.qhead == len(u.queue) {
+				u.queue, u.qhead = u.queue[:0], 0
+			}
+			continue
+		}
+		if u.done {
+			break
+		}
+		if !u.started {
+			u.start0()
+			continue
+		}
+		u.step()
+	}
+	return n
+}
+
+// start0 draws the UE's per-lifetime latent state and initial condition.
+func (u *ueSim) start0() {
 	u.started = true
 	p := u.p
-	r := u.rng
+	r := &u.rng
 	u.actMult = r.Lognormal(-p.actSigma*p.actSigma/2, p.actSigma) // mean 1
 	u.mobMult = r.Lognormal(-p.mobSigma*p.mobSigma/2, p.mobSigma)
 	startSec := u.start.Seconds()
@@ -339,7 +418,7 @@ func (u *ueSim) init() {
 //
 //cplint:hotpath the simulator step: runs once per behavioral decision
 func (u *ueSim) step() {
-	r := u.rng
+	r := &u.rng
 	endSec := u.end.Seconds()
 	if u.t >= endSec {
 		u.done = true
@@ -401,7 +480,7 @@ func (u *ueSim) step() {
 // followed by a TAU.
 func (u *ueSim) connectedPhase(tSec float64) float64 {
 	p := u.p
-	r := u.rng
+	r := &u.rng
 	var dur float64
 	if p.paretoP > 0 && r.Float64() < p.paretoP {
 		dur = r.ParetoSample(p.paretoXm, p.paretoAlpha)
@@ -444,7 +523,7 @@ func (u *ueSim) connectedPhase(tSec float64) float64 {
 // burst phase), advancing through hour and burst-phase boundaries.
 func (u *ueSim) sessionWait(tSec float64) float64 {
 	p := u.p
-	r := u.rng
+	r := &u.rng
 	t := tSec
 	endSec := u.end.Seconds()
 	// The burst clock only ticks inside this function; after a long

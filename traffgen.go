@@ -111,6 +111,26 @@ type (
 	EventSink = trace.EventSink
 )
 
+// Batched pipeline re-exports. A Batch carries a run of canonical-order
+// events in struct-of-arrays layout; sources that implement BatchSource
+// and sinks that implement BatchSink move whole batches through the hot
+// path instead of one interface call per event. Batch boundaries never
+// affect the produced trace or its serialized bytes (test-enforced);
+// adapters bridge every EventSource/EventSink onto the batched faces.
+type (
+	// Batch is a struct-of-arrays run of trace events.
+	Batch = trace.Batch
+	// BatchSource delivers a trace as a sequence of reused batches.
+	BatchSource = trace.BatchSource
+	// BatchSink consumes registrations and whole event batches.
+	BatchSink = trace.BatchSink
+)
+
+// CopyBatches streams src into dst over the batched pipeline, using
+// each side's native batch support when present and adapting otherwise.
+// The result is byte-identical to the per-event trace.Copy.
+func CopyBatches(dst EventSink, src EventSource) error { return trace.CopyBatches(dst, src) }
+
 // NewFileSource opens an on-disk trace (binary or text) as a re-iterable
 // EventSource that reads incrementally instead of loading the file.
 func NewFileSource(path string) (EventSource, error) { return trace.NewFileSource(path) }
@@ -270,13 +290,16 @@ func TrafficSource(ms *Model, opt GenOptions) (EventSource, error) {
 }
 
 // GenerateTo streams a synthetic trace into sink without materializing
-// it: registrations first, then events in canonical order.
+// it: registrations first, then events in canonical order. The transfer
+// rides the batched pipeline (the generator fills struct-of-arrays
+// batches natively); the delivered events and bytes are identical to
+// the per-event path.
 func GenerateTo(ms *Model, opt GenOptions, sink EventSink) error {
 	src, err := core.NewSource(ms, opt)
 	if err != nil {
 		return err
 	}
-	return trace.Copy(sink, src)
+	return trace.CopyBatches(sink, src)
 }
 
 // Scenario is a parsed scenario/1 file: a named, versioned description
