@@ -24,8 +24,9 @@ build:
 
 # The repo's own analyzers: determinism (detmap, detsource), enum
 # coverage (exhaustive), float-fold ordering (floatfold), model
-# immutability (frozen), hot-path allocation (hotalloc), and par-pool
-# write disjointness (parshare).
+# immutability (frozen), hot-path allocation (hotalloc, plus its
+# call-graph-propagated form hotcall), par-pool write disjointness
+# (parshare), and the reused-buffer retention contract (retain).
 lint:
 	$(GO) run ./cmd/cplint ./...
 
@@ -34,8 +35,12 @@ lint:
 fix:
 	$(GO) run ./cmd/cplint -fix ./...
 
+# The batchdebug pass is the runtime counterpart of the retain
+# analyzer: Batch.Reset poisons its columns, and the gated tests prove
+# a retaining consumer observes it (while the default build does not).
 test:
 	$(GO) test ./...
+	$(GO) test -tags batchdebug ./internal/trace/
 
 # The fitting, generation, simulation, and pass-rate pipelines all fan
 # out over worker pools; any change to them must stay race-clean. The

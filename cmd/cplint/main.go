@@ -1,5 +1,5 @@
 // Command cplint runs the repo's custom static-analysis suite: the
-// seven analyzers in internal/lint that turn the determinism,
+// nine analyzers in internal/lint that turn the determinism,
 // state-machine, hot-path, immutability, and concurrency invariants
 // into build-time errors.
 //
@@ -15,7 +15,7 @@
 //
 // -fix applies each diagnostic's suggested edit, gofmts the result,
 // and is idempotent: a second run finds the fixed sites clean.
-// -json writes the stable cplint/2 report to stdout; -sarif writes a
+// -json writes the stable cplint/3 report to stdout; -sarif writes a
 // SARIF 2.1.0 log for GitHub code scanning to the named file. Both
 // are byte-deterministic for a given tree, independent of -workers.
 package main

@@ -119,14 +119,14 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, name := range []string{"detmap", "detsource", "exhaustive", "floatfold", "frozen", "hotalloc", "parshare"} {
+	for _, name := range []string{"detmap", "detsource", "exhaustive", "floatfold", "frozen", "hotalloc", "hotcall", "parshare", "retain"} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output missing %q:\n%s", name, stdout)
 		}
 	}
 }
 
-// TestJSONSchema pins the cplint/2 report shape: stable field names,
+// TestJSONSchema pins the cplint/3 report shape: stable field names,
 // module-relative forward-slash paths, and byte-determinism across
 // worker counts.
 func TestJSONSchema(t *testing.T) {
@@ -150,8 +150,8 @@ func TestJSONSchema(t *testing.T) {
 	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
 		t.Fatalf("output is not the expected JSON: %v\n%s", err, stdout)
 	}
-	if rep.Version != "cplint/2" {
-		t.Errorf("version = %q, want cplint/2", rep.Version)
+	if rep.Version != "cplint/3" {
+		t.Errorf("version = %q, want cplint/3", rep.Version)
 	}
 	if rep.Packages != 2 {
 		t.Errorf("packages = %d, want 2", rep.Packages)
@@ -219,8 +219,8 @@ func TestSARIFReport(t *testing.T) {
 		t.Fatalf("unexpected SARIF envelope: version %q, %d runs", log.Version, len(log.Runs))
 	}
 	run := log.Runs[0]
-	if run.Tool.Driver.Name != "cplint" || len(run.Tool.Driver.Rules) != 7 {
-		t.Errorf("driver = %q with %d rules, want cplint with 7", run.Tool.Driver.Name, len(run.Tool.Driver.Rules))
+	if run.Tool.Driver.Name != "cplint" || len(run.Tool.Driver.Rules) != 9 {
+		t.Errorf("driver = %q with %d rules, want cplint with 9", run.Tool.Driver.Name, len(run.Tool.Driver.Rules))
 	}
 	if len(run.Results) != 1 || run.Results[0].RuleID != "exhaustive" {
 		t.Fatalf("unexpected results: %+v", run.Results)

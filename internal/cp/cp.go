@@ -95,10 +95,10 @@ var eventTypeNames = [NumEventTypes]string{
 // String returns the paper's abbreviation for the event type, e.g.
 // "SRV_REQ" for ServiceRequest.
 func (e EventType) String() string {
-	if int(e) < len(eventTypeNames) {
-		return eventTypeNames[e]
+	if int(e) >= len(eventTypeNames) {
+		return fmt.Sprintf("EventType(%d)", uint8(e))
 	}
-	return fmt.Sprintf("EventType(%d)", uint8(e))
+	return eventTypeNames[e]
 }
 
 // Valid reports whether e is one of the defined LTE event types.
@@ -160,10 +160,10 @@ var deviceTypeNames = [NumDeviceTypes]string{"phone", "car", "tablet"}
 
 // String returns a short lowercase name ("phone", "car", "tablet").
 func (d DeviceType) String() string {
-	if int(d) < len(deviceTypeNames) {
-		return deviceTypeNames[d]
+	if int(d) >= len(deviceTypeNames) {
+		return fmt.Sprintf("DeviceType(%d)", uint8(d))
 	}
-	return fmt.Sprintf("DeviceType(%d)", uint8(d))
+	return deviceTypeNames[d]
 }
 
 // Valid reports whether d is one of the defined device types.

@@ -95,6 +95,47 @@ func TestDirectiveHygiene(t *testing.T) {
 	}
 }
 
+// TestRetainDirectiveHygiene runs the full suite over the retain
+// negative-control fixture (outside the determinism-gated set): the
+// reasonless retained-ok, the unattached retained-ok, and the reused
+// marker on a non-type each produce exactly one diagnostic, and the
+// annotated escape itself stays suppressed.
+func TestRetainDirectiveHygiene(t *testing.T) {
+	l := fixtureLoader(t)
+	pkgs, err := l.LoadPaths("cptraffic/internal/retainneg")
+	if err != nil {
+		t.Fatalf("loading retain hygiene fixture: %v", err)
+	}
+	diags := Analyze(pkgs, All())
+
+	want := []struct {
+		line int
+		sub  string
+	}{
+		{17, "//cplint:retained-ok needs a reason"},
+		{21, "not attached to a statement that retains a reused buffer"},
+		{27, "not attached to a type declaration"},
+	}
+	if len(diags) != len(want) {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(want))
+	}
+	for i, w := range want {
+		d := diags[i]
+		if d.Pos.Line != w.line || !strings.Contains(d.Message, w.sub) {
+			t.Errorf("diagnostic %d: got line %d %q, want line %d containing %q",
+				i, d.Pos.Line, d.Message, w.line, w.sub)
+		}
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "reused buffer escapes") {
+			t.Errorf("attached retained-ok failed to suppress the escape: %s", d)
+		}
+	}
+}
+
 // TestMalformedDirectiveStillSuppresses documents the failure mode of a
 // reasonless ordered-ok: the annotated loop itself is not re-reported
 // (the annotation is attached), but the missing reason is an error, so

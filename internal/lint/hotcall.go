@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotCall propagates the //cplint:hotpath contract through the module
+// call graph: a function reachable from a hot root — over static calls
+// and CHA-resolved module-local interface calls — is itself on the hot
+// path, even without an annotation, and hotalloc's allocation checks
+// run over its body with the full call chain named in each diagnostic.
+//
+// Two things keep the propagated check usable on a real tree. First,
+// early-exit branches (if/else blocks and switch/select clauses that
+// end by returning or panicking) are treated as off the steady path:
+// error construction (`return s.fail(fmt.Errorf(...))`) and one-shot
+// growth allocate there without tainting the chain, and call edges
+// leaving such branches are pruned. Second, a reasoned
+// //cplint:coldpath on a function declaration stops propagation into
+// it. Annotating a function //cplint:hotpath re-enables hotalloc's
+// strict whole-body check; the suggested fix does exactly that.
+var HotCall = &Analyzer{
+	Name:       "hotcall",
+	Doc:        "flags allocation in unannotated functions reachable from //cplint:hotpath roots, naming the call chain",
+	Run:        runHotCall,
+	NeedsGraph: true,
+}
+
+func runHotCall(pass *Pass) error {
+	g := pass.Graph
+	if g == nil {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			gf := g.funcs[obj]
+			if gf == nil || gf.hotRoot || gf.Cold || gf.hotFrom == nil {
+				continue
+			}
+			checkPropagated(pass, gf, fd)
+		}
+	}
+	return nil
+}
+
+// checkPropagated runs the allocation checks over one call-graph-hot
+// function, suffixing every finding with the chain that made it hot.
+// The first finding carries the annotation-propagating fix.
+func checkPropagated(pass *Pass, gf *GraphFunc, fd *ast.FuncDecl) {
+	chain := pass.Graph.chainOf(gf)
+	suffix := fmt.Sprintf(" [hot chain: %s]", chainString(chain))
+	root := chain[0].displayName()
+	first := true
+	c := &allocChecker{
+		pass: pass,
+		skip: gf.coldAt,
+		emit: func(pos token.Pos, msg string) {
+			msg += suffix
+			if first {
+				first = false
+				fix := SuggestedFix{
+					Message: "annotate //cplint:hotpath to make the propagated contract explicit (hotalloc then checks the whole body strictly)",
+					Edits: []TextEdit{
+						pass.Edit(fd.Pos(), fd.Pos(), fmt.Sprintf("//cplint:hotpath propagated: reached from %s\n", root)),
+					},
+				}
+				pass.ReportFixf(pos, fix, "%s", msg)
+				return
+			}
+			pass.Reportf(pos, "%s", msg)
+		},
+	}
+	checkAllocBody(c, fd)
+}

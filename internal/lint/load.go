@@ -1,9 +1,11 @@
 // Package lint implements the cplint static-analysis suite: a small,
 // dependency-free clone of the golang.org/x/tools/go/analysis driver
-// plus the seven repo-specific analyzers (detmap, detsource,
-// exhaustive, floatfold, frozen, hotalloc, parshare) that turn this
-// repo's determinism, state-machine, hot-path, and concurrency
-// invariants into build errors.
+// plus the nine repo-specific analyzers (detmap, detsource,
+// exhaustive, floatfold, frozen, hotalloc, hotcall, parshare, retain)
+// that turn this repo's determinism, state-machine, hot-path,
+// buffer-retention, and concurrency invariants into build errors. The
+// two call-graph-backed analyzers (retain, hotcall) additionally share
+// a deterministic interprocedural substrate; see callgraph.go.
 //
 // The framework mirrors the go/analysis API (Analyzer, Pass, Reportf)
 // so the analyzers would port to the upstream driver verbatim, but it
@@ -44,6 +46,8 @@ type Package struct {
 	fset       *token.FileSet
 	directives []*Directive
 	typeErrs   []types.Error
+	deps       []*Package // direct imports, sorted by path (fixture or module; stdlib included)
+	std        bool       // from `go list` Standard (fixture packages are never standard)
 }
 
 // listPkg is the subset of `go list -json` output the loader needs.
@@ -251,6 +255,7 @@ func (l *Loader) check(path string) (*Package, error) {
 func (l *Loader) doCheck(path string) (*Package, error) {
 	var dir string
 	var files []string
+	var std bool
 	if fdir, ok := l.Fixtures[path]; ok {
 		ents, err := os.ReadDir(fdir)
 		if err != nil {
@@ -269,7 +274,7 @@ func (l *Loader) doCheck(path string) (*Package, error) {
 		if err != nil {
 			return nil, err
 		}
-		dir, files = m.Dir, m.GoFiles
+		dir, files, std = m.Dir, m.GoFiles, m.Standard
 	}
 	if len(files) == 0 {
 		// `go list -e` reports unresolvable patterns as pseudo-packages
@@ -278,7 +283,7 @@ func (l *Loader) doCheck(path string) (*Package, error) {
 	}
 
 	fset := l.Fset()
-	pkg := &Package{Path: path, Dir: dir, fset: fset}
+	pkg := &Package{Path: path, Dir: dir, fset: fset, std: std}
 	for _, name := range files {
 		af, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
@@ -295,6 +300,7 @@ func (l *Loader) doCheck(path string) (*Package, error) {
 		Implicits:  make(map[ast.Node]types.Object),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
+	deps := make(map[string]*Package)
 	conf := types.Config{
 		Importer: importerFunc(func(imp string) (*types.Package, error) {
 			if imp == "unsafe" {
@@ -307,6 +313,7 @@ func (l *Loader) doCheck(path string) (*Package, error) {
 			if err != nil {
 				return nil, err
 			}
+			deps[imp] = dep
 			return dep.Types, nil
 		}),
 		Error: func(err error) {
@@ -321,6 +328,14 @@ func (l *Loader) doCheck(path string) (*Package, error) {
 		return nil, fmt.Errorf("type-checking %s: %v", path, err)
 	}
 	pkg.directives = parseDirectives(fset, pkg.Files)
+	depPaths := make([]string, 0, len(deps))
+	for p := range deps {
+		depPaths = append(depPaths, p)
+	}
+	sort.Strings(depPaths)
+	for _, p := range depPaths {
+		pkg.deps = append(pkg.deps, deps[p])
+	}
 	return pkg, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -18,10 +19,14 @@ var allFixturePaths = []string{
 	"cptraffic/internal/ffold",
 	"cptraffic/internal/fiveg",
 	"cptraffic/internal/hot",
+	"cptraffic/internal/hotchain",
 	"cptraffic/internal/par",
 	"cptraffic/internal/report",
+	"cptraffic/internal/retainneg",
+	"cptraffic/internal/sink",
 	"cptraffic/internal/sm",
 	"cptraffic/internal/stats",
+	"cptraffic/internal/trace",
 	"cptraffic/internal/util",
 	"cptraffic/internal/world",
 }
@@ -45,6 +50,14 @@ func TestAnalyzeWorkerCountIndependent(t *testing.T) {
 	base := diagString(AnalyzeWorkers(pkgs, All(), 1))
 	if base == "" {
 		t.Fatal("fixture analysis produced no diagnostics; the comparison is vacuous")
+	}
+	// The call-graph-backed analyzers must be part of the comparison:
+	// their substrate is built once before the fan-out, and this is the
+	// test that pins that choice.
+	for _, name := range []string{" retain: ", " hotcall: "} {
+		if !strings.Contains(base, name) {
+			t.Errorf("baseline diagnostics carry no%sfindings; the call-graph coverage is vacuous", name)
+		}
 	}
 	for _, workers := range []int{0, 2, 3, 16} {
 		if got := diagString(AnalyzeWorkers(pkgs, All(), workers)); got != base {

@@ -1,0 +1,716 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The taint walker is the dataflow half of the call-graph substrate: a
+// flow-insensitive, bitmask-based escape analysis over one function
+// body. Each pointerful parameter (receiver first) owns one bit; local
+// variables accumulate the bits of whatever they may alias; sinks that
+// outlive the frame (package variables, captured variables, fields of
+// escaping objects, channel sends, goroutine captures, calls whose
+// summary retains the argument) record an escape of the accumulated
+// bits.
+//
+// The same walker serves two modes. In summary mode (report == nil)
+// escapes land in a retSummary consumed at call sites — that is what
+// makes the analysis interprocedural. In frame mode (report != nil)
+// escapes of reused-parameter bits become retain diagnostics.
+//
+// The walk runs the body to a local mask fixpoint first (masks only
+// grow), then one recording pass; every expression is evaluated
+// exactly once per pass, so escapes are recorded exactly once.
+
+// An escapeEvent is one recorded escape.
+type escapeEvent struct {
+	pos  token.Pos
+	expr ast.Expr // the escaping value expression when syntactically evident (autofix input)
+	mask uint64
+	desc string // "assigned to package variable saved", "sent on a channel", ...
+}
+
+type taint struct {
+	g     *Graph
+	pkg   *Package
+	frame ast.Node // *ast.FuncDecl or *ast.FuncLit
+	body  *ast.BlockStmt
+
+	params  []*types.Var
+	bits    map[types.Object]uint64 // parameter object -> its bit
+	bitIdx  map[types.Object]int
+	allBits uint64
+
+	masks   map[types.Object]uint64
+	changed bool
+
+	record bool
+	sum    retSummary
+	report func(escapeEvent)
+}
+
+func newTaint(g *Graph, pkg *Package, frame ast.Node, body *ast.BlockStmt, sig *types.Signature) *taint {
+	t := &taint{
+		g:      g,
+		pkg:    pkg,
+		frame:  frame,
+		body:   body,
+		params: paramVars(sig),
+		bits:   make(map[types.Object]uint64),
+		bitIdx: make(map[types.Object]int),
+		masks:  make(map[types.Object]uint64),
+		sum:    retSummary{into: make(map[int]uint64), note: make(map[int]string)},
+	}
+	for i, p := range t.params {
+		if i >= 64 || !pointerful(p.Type()) {
+			continue
+		}
+		bit := uint64(1) << uint(i)
+		t.bits[p] = bit
+		t.bitIdx[p] = i
+		t.allBits |= bit
+		t.masks[p] = bit
+	}
+	return t
+}
+
+// run drives the two passes: mask fixpoint, then the recording pass.
+func (t *taint) run() {
+	for i := 0; i < 64; i++ {
+		t.changed = false
+		t.walkStmt(t.body)
+		if !t.changed {
+			break
+		}
+	}
+	t.record = true
+	t.walkStmt(t.body)
+}
+
+func (t *taint) setMask(obj types.Object, m uint64) {
+	if obj == nil || m == 0 {
+		return
+	}
+	old := t.masks[obj]
+	if old|m != old {
+		t.masks[obj] = old | m
+		t.changed = true
+	}
+}
+
+func (t *taint) obj(id *ast.Ident) types.Object {
+	if o := t.pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return t.pkg.Info.Defs[id]
+}
+
+func (t *taint) typeOf(e ast.Expr) types.Type {
+	return t.pkg.Info.TypeOf(e)
+}
+
+// frameLocal reports whether obj is declared inside the frame (its
+// lifetime ends when the frame returns, unless it escapes separately).
+func (t *taint) frameLocal(obj types.Object) bool {
+	return obj.Pos() >= t.frame.Pos() && obj.Pos() < t.frame.End()
+}
+
+// escapeRec records one escape in the active mode.
+func (t *taint) escapeRec(pos token.Pos, expr ast.Expr, mask uint64, desc string) {
+	if !t.record || mask == 0 {
+		return
+	}
+	if t.report != nil {
+		t.report(escapeEvent{pos: pos, expr: expr, mask: mask, desc: desc})
+		return
+	}
+	pb := mask & t.allBits
+	if pb == 0 {
+		return
+	}
+	t.sum.escapes |= pb
+	for i := 0; i < 64 && i < len(t.params); i++ {
+		if pb&(1<<uint(i)) != 0 {
+			if _, ok := t.sum.note[i]; !ok {
+				t.sum.note[i] = desc
+			}
+		}
+	}
+}
+
+// storeInto handles "value with mask m is stored into the object
+// container points to": stores into parameter-pointed objects surface
+// in the summary (the caller judges them), stores into frame-local
+// containers taint the container, everything else escapes.
+func (t *taint) storeInto(container ast.Expr, m uint64, pos token.Pos, rhs ast.Expr, what string) {
+	if m == 0 {
+		return
+	}
+	if root := retainRoot(container); root != nil {
+		if obj := t.obj(root); obj != nil {
+			if j, ok := t.bitIdx[obj]; ok {
+				if t.record && t.report == nil {
+					t.sum.into[j] |= m & t.allBits
+				}
+				return
+			}
+			if t.frameLocal(obj) {
+				t.setMask(obj, m)
+				return
+			}
+		}
+	}
+	t.escapeRec(pos, rhs, m, what)
+}
+
+// retainRoot unwraps selector/index/star/paren/slice chains to the
+// base identifier, or nil when the base is not an identifier.
+func retainRoot(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			if v.Op != token.AND {
+				return nil
+			}
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// describeVal names the escaping value for diagnostics.
+func describeVal(e ast.Expr) string {
+	if e == nil {
+		return "a reused-buffer value"
+	}
+	return types.ExprString(e)
+}
+
+// ---- statements ----
+
+func (t *taint) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		if s == nil {
+			return
+		}
+		for _, c := range s.List {
+			t.walkStmt(c)
+		}
+	case *ast.ExprStmt:
+		t.exprMask(s.X)
+	case *ast.AssignStmt:
+		t.walkAssign(s)
+	case *ast.DeclStmt:
+		t.walkDecl(s)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			m := t.exprMask(r)
+			if t.record && t.report == nil {
+				t.sum.toRet |= m & t.allBits
+			}
+		}
+	case *ast.SendStmt:
+		t.exprMask(s.Chan)
+		m := t.exprMask(s.Value)
+		t.escapeRec(s.Arrow, s.Value, m,
+			fmt.Sprintf("%s is sent on a channel", describeVal(s.Value)))
+	case *ast.GoStmt:
+		t.walkGo(s)
+	case *ast.DeferStmt:
+		// Deferred calls run before the frame returns: judged like a
+		// plain call.
+		t.exprMask(s.Call)
+	case *ast.IfStmt:
+		t.walkStmt(s.Init)
+		t.exprMask(s.Cond)
+		t.walkStmt(s.Body)
+		t.walkStmt(s.Else)
+	case *ast.ForStmt:
+		t.walkStmt(s.Init)
+		if s.Cond != nil {
+			t.exprMask(s.Cond)
+		}
+		t.walkStmt(s.Post)
+		t.walkStmt(s.Body)
+	case *ast.RangeStmt:
+		t.walkRange(s)
+	case *ast.SwitchStmt:
+		t.walkStmt(s.Init)
+		if s.Tag != nil {
+			t.exprMask(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				t.exprMask(e)
+			}
+			for _, b := range cc.Body {
+				t.walkStmt(b)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		t.walkTypeSwitch(s)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			t.walkStmt(cc.Comm)
+			for _, b := range cc.Body {
+				t.walkStmt(b)
+			}
+		}
+	case *ast.LabeledStmt:
+		t.walkStmt(s.Stmt)
+	case *ast.IncDecStmt:
+		t.exprMask(s.X)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+func (t *taint) walkAssign(s *ast.AssignStmt) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// Tuple assignment: one multi-valued rhs. The per-result split
+		// is not tracked; every lhs gets the joined mask.
+		m := t.exprMask(s.Rhs[0])
+		for _, l := range s.Lhs {
+			t.assignTo(l, m, s.Rhs[0], s.TokPos)
+		}
+		return
+	}
+	for i, l := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		m := t.exprMask(s.Rhs[i])
+		t.assignTo(l, m, s.Rhs[i], s.TokPos)
+	}
+}
+
+func (t *taint) walkDecl(s *ast.DeclStmt) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, id := range vs.Names {
+			if i < len(vs.Values) {
+				m := t.exprMask(vs.Values[i])
+				t.assignTo(id, m, vs.Values[i], id.Pos())
+			}
+		}
+	}
+}
+
+func (t *taint) walkRange(s *ast.RangeStmt) {
+	mx := t.exprMask(s.X)
+	if s.Value != nil {
+		em := uint64(0)
+		if pointerful(elemType(t.typeOf(s.X))) {
+			em = mx
+		}
+		t.assignTo(s.Value, em, s.X, s.Range)
+	}
+	// Keys are indexes or map keys; map keys are comparable and very
+	// rarely alias reused buffers — untracked.
+	t.walkStmt(s.Body)
+}
+
+func (t *taint) walkTypeSwitch(s *ast.TypeSwitchStmt) {
+	t.walkStmt(s.Init)
+	var mx uint64
+	switch a := s.Assign.(type) {
+	case *ast.AssignStmt:
+		if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+			mx = t.exprMask(ta.X)
+		}
+	case *ast.ExprStmt:
+		if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+			mx = t.exprMask(ta.X)
+		}
+	}
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		if obj := t.pkg.Info.Implicits[cc]; obj != nil {
+			t.setMask(obj, mx)
+		}
+		for _, b := range cc.Body {
+			t.walkStmt(b)
+		}
+	}
+}
+
+func (t *taint) walkGo(s *ast.GoStmt) {
+	call := s.Call
+	m := t.funOperandMask(call)
+	for _, a := range call.Args {
+		m |= t.exprMask(a)
+	}
+	t.escapeRec(s.Go, nil, m,
+		fmt.Sprintf("a reused-buffer value is captured by goroutine go %s", types.ExprString(call.Fun)))
+}
+
+// funOperandMask evaluates the callee operand of a call for its own
+// mask (func literals capturing tracked variables, method values on
+// tracked receivers).
+func (t *taint) funOperandMask(call *ast.CallExpr) uint64 {
+	switch fun := unparenExpr(call.Fun).(type) {
+	case *ast.FuncLit:
+		return t.exprMask(fun)
+	case *ast.SelectorExpr:
+		if sel, ok := t.pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			return 0 // receiver handled by callMask's argument alignment
+		}
+	}
+	return 0
+}
+
+// assignTo applies "lhs = value with mask m".
+func (t *taint) assignTo(lhs ast.Expr, m uint64, rhs ast.Expr, pos token.Pos) {
+	switch l := unparenExpr(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := t.obj(l)
+		if obj == nil || m == 0 {
+			return
+		}
+		if t.frameLocal(obj) {
+			t.setMask(obj, m)
+			return
+		}
+		t.escapeRec(pos, rhs, m,
+			fmt.Sprintf("%s is assigned to %s, which outlives this function", describeVal(rhs), t.scopeName(obj)))
+	case *ast.SelectorExpr:
+		mx := t.exprMask(l.X)
+		if rem := m &^ mx; rem != 0 {
+			// Storing a value back into the object it came from does not
+			// extend its lifetime (mx subtraction); everything else is a
+			// real store.
+			t.storeInto(l.X, rem, pos, rhs,
+				fmt.Sprintf("%s is stored into field %s, which outlives this function", describeVal(rhs), types.ExprString(l)))
+		}
+	case *ast.IndexExpr:
+		t.exprMask(l.Index)
+		mx := t.exprMask(l.X)
+		if rem := m &^ mx; rem != 0 {
+			t.storeInto(l.X, rem, pos, rhs,
+				fmt.Sprintf("%s is stored into %s, which outlives this function", describeVal(rhs), types.ExprString(l.X)))
+		}
+	case *ast.StarExpr:
+		mx := t.exprMask(l.X)
+		if rem := m &^ mx; rem != 0 {
+			t.storeInto(l.X, rem, pos, rhs,
+				fmt.Sprintf("%s is stored through %s, which outlives this function", describeVal(rhs), types.ExprString(lhs)))
+		}
+	}
+}
+
+func (t *taint) scopeName(obj types.Object) string {
+	if t.pkg.Types != nil && obj.Parent() == t.pkg.Types.Scope() {
+		return "package variable " + obj.Name()
+	}
+	return obj.Name() + ", declared outside this frame"
+}
+
+// ---- expressions ----
+
+// exprMask computes the alias mask of an expression, recording escapes
+// at call boundaries in the recording pass. Every syntactic expression
+// is evaluated exactly once per pass.
+func (t *taint) exprMask(e ast.Expr) uint64 {
+	m := t.rawMask(e)
+	if m != 0 && !pointerful(t.typeOf(e)) {
+		// Scalar results (column loads b.T[i], lengths, times) carry no
+		// aliases no matter what they were derived from.
+		return 0
+	}
+	return m
+}
+
+func (t *taint) rawMask(e ast.Expr) uint64 {
+	switch e := e.(type) {
+	case nil:
+		return 0
+	case *ast.Ident:
+		obj := t.obj(e)
+		if obj == nil {
+			return 0
+		}
+		return t.masks[obj]
+	case *ast.ParenExpr:
+		return t.rawMask(e.X)
+	case *ast.BasicLit:
+		return 0
+	case *ast.SelectorExpr:
+		if _, ok := t.pkg.Info.Selections[e]; ok {
+			return t.exprMask(e.X)
+		}
+		// Qualified identifier pkg.X.
+		if obj := t.pkg.Info.Uses[e.Sel]; obj != nil {
+			return t.masks[obj]
+		}
+		return 0
+	case *ast.IndexExpr:
+		t.exprMask(e.Index)
+		return t.exprMask(e.X)
+	case *ast.SliceExpr:
+		for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+			if idx != nil {
+				t.exprMask(idx)
+			}
+		}
+		if isZeroCapReslice(e) {
+			// x[:0:0] shares no elements with x: the canonical fresh-copy
+			// base for append(x[:0:0], x...).
+			return 0
+		}
+		return t.exprMask(e.X)
+	case *ast.StarExpr:
+		return t.exprMask(e.X)
+	case *ast.UnaryExpr:
+		m := t.exprMask(e.X)
+		switch e.Op {
+		case token.AND, token.ARROW:
+			return m
+		}
+		return 0
+	case *ast.BinaryExpr:
+		t.exprMask(e.X)
+		t.exprMask(e.Y)
+		return 0
+	case *ast.CompositeLit:
+		var m uint64
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				m |= t.exprMask(kv.Value)
+				continue
+			}
+			m |= t.exprMask(el)
+		}
+		return m
+	case *ast.TypeAssertExpr:
+		return t.exprMask(e.X)
+	case *ast.FuncLit:
+		// The literal's body runs (now or later) with access to whatever
+		// it captures; walk it for propagation/records, then alias the
+		// closure value with its captured masks.
+		t.walkStmt(e.Body)
+		return t.captureMask(e)
+	case *ast.CallExpr:
+		return t.callMask(e)
+	}
+	return 0
+}
+
+// captureMask ORs the masks of variables the literal captures from
+// outside itself.
+func (t *taint) captureMask(lit *ast.FuncLit) uint64 {
+	var m uint64
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := t.pkg.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true
+		}
+		m |= t.masks[obj]
+		return true
+	})
+	return m
+}
+
+func isZeroCapReslice(e *ast.SliceExpr) bool {
+	if !e.Slice3 || e.High == nil || e.Max == nil {
+		return false
+	}
+	return isZeroLit(e.High) && isZeroLit(e.Max)
+}
+
+func isZeroLit(e ast.Expr) bool {
+	bl, ok := unparenExpr(e).(*ast.BasicLit)
+	return ok && bl.Value == "0"
+}
+
+// callMask evaluates a call: conversions pass the operand through,
+// builtins get bespoke rules (append in particular), resolved callees
+// apply their summaries (escapes, returns, stores-into-parameters),
+// unknown callees are assumed non-retaining — the reuse contract's
+// boundary (func-value callbacks) is exactly such a call.
+func (t *taint) callMask(call *ast.CallExpr) uint64 {
+	info := t.pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		var m uint64
+		for _, a := range call.Args {
+			m |= t.exprMask(a)
+		}
+		return m
+	}
+	if id, ok := unparenExpr(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			return t.builtinMask(b.Name(), call)
+		}
+	}
+
+	rc := t.g.resolve(t.pkg, call)
+	t.funOperandMask(call)
+
+	args := call.Args
+	if rc.recv != nil {
+		args = append([]ast.Expr{rc.recv}, args...)
+	} else if sel, ok := unparenExpr(call.Fun).(*ast.SelectorExpr); ok {
+		// Unresolved method call: still evaluate the receiver once.
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			args = append([]ast.Expr{sel.X}, args...)
+		}
+	}
+	argMasks := make([]uint64, len(args))
+	for i, a := range args {
+		argMasks[i] = t.exprMask(a)
+	}
+	if len(rc.callees) == 0 {
+		return 0
+	}
+
+	var ret uint64
+	escaped := make(map[int]bool)
+	for _, c := range rc.callees {
+		sig, _ := c.Obj.Type().(*types.Signature)
+		if sig == nil {
+			continue
+		}
+		ps := paramVars(sig)
+		if len(ps) == 0 {
+			continue
+		}
+		for i, m := range argMasks {
+			if m == 0 {
+				continue
+			}
+			j := i
+			if j >= len(ps) {
+				j = len(ps) - 1 // variadic spill
+			}
+			if j >= 64 {
+				continue
+			}
+			bit := uint64(1) << uint(j)
+			if c.sum.toRet&bit != 0 {
+				ret |= m
+			}
+			if c.sum.escapes&bit != 0 && !escaped[i] && !t.g.isReusedType(ps[j].Type()) {
+				// Passing a reused value to a reused-typed parameter is
+				// handing the contract down, not an escape: the callee is
+				// its own frame and is judged there.
+				escaped[i] = true
+				note := c.sum.note[j]
+				if note != "" {
+					note = ": " + note
+				}
+				t.escapeRec(call.Pos(), args[i], m,
+					fmt.Sprintf("%s is passed to %s, which retains it%s", describeVal(args[i]), c.displayName(), note))
+			}
+		}
+		// Stores into parameter-pointed objects: replay them on the
+		// actual arguments.
+		dsts := make([]int, 0, len(c.sum.into))
+		for d := range c.sum.into {
+			dsts = append(dsts, d)
+		}
+		sort.Ints(dsts)
+		for _, d := range dsts {
+			srcBits := c.sum.into[d]
+			var contrib uint64
+			for i, m := range argMasks {
+				j := i
+				if j >= len(ps) {
+					j = len(ps) - 1
+				}
+				if j < 64 && srcBits&(uint64(1)<<uint(j)) != 0 {
+					contrib |= m
+				}
+			}
+			if contrib == 0 || d >= len(args) {
+				continue
+			}
+			t.storeInto(args[d], contrib, call.Pos(), nil,
+				fmt.Sprintf("a reused-buffer value is passed to %s, which stores it into %s, and that object outlives this function",
+					c.displayName(), types.ExprString(args[d])))
+		}
+	}
+	return ret
+}
+
+// builtinMask applies the builtin-specific aliasing rules.
+func (t *taint) builtinMask(name string, call *ast.CallExpr) uint64 {
+	switch name {
+	case "append":
+		if len(call.Args) == 0 {
+			return 0
+		}
+		m := t.exprMask(call.Args[0])
+		if call.Ellipsis.IsValid() {
+			// append(dst, src...) copies src's elements; aliases travel
+			// only when the elements themselves are pointerful.
+			if len(call.Args) == 2 {
+				sm := t.exprMask(call.Args[1])
+				if pointerful(elemType(t.typeOf(call.Args[1]))) {
+					m |= sm
+				}
+			}
+			return m
+		}
+		for _, a := range call.Args[1:] {
+			am := t.exprMask(a)
+			if pointerful(t.typeOf(a)) {
+				m |= am
+			}
+		}
+		return m
+	case "copy":
+		if len(call.Args) == 2 {
+			t.exprMask(call.Args[0])
+			sm := t.exprMask(call.Args[1])
+			if sm != 0 && pointerful(elemType(t.typeOf(call.Args[1]))) {
+				// Element-wise copy of pointerful elements: the
+				// destination's container now holds the aliases.
+				t.storeInto(call.Args[0], sm, call.Pos(), call.Args[1],
+					fmt.Sprintf("%s's elements are copied into %s, which outlives this function",
+						types.ExprString(call.Args[1]), types.ExprString(call.Args[0])))
+			}
+		}
+		return 0
+	default:
+		for _, a := range call.Args {
+			t.exprMask(a)
+		}
+		return 0
+	}
+}

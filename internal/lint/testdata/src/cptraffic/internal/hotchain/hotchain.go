@@ -1,0 +1,71 @@
+// Package hotchain is the hotcall fixture: a //cplint:hotpath root
+// whose allocation happens two calls down, a cold early-exit branch,
+// and a //cplint:coldpath stop — the propagated check follows the call
+// graph, not annotations.
+package hotchain
+
+import "fmt"
+
+// Root is the propagation root: its own body is clean (hotalloc checks
+// it strictly), but everything it reaches on the steady path inherits
+// the hot contract.
+//
+//cplint:hotpath fixture: the propagation root
+func Root(n int) int {
+	primed := setup(n)
+	return mid(n) + primed
+}
+
+// setup is annotated off the steady path: propagation stops here even
+// though Root calls it directly.
+//
+//cplint:coldpath fixture: one-shot priming, not on the steady path
+func setup(n int) int {
+	buf := make([]int, n)
+	return len(buf)
+}
+
+// mid is unannotated: it inherits hotness from Root. Its early-exit
+// branch may allocate, and the call edge leaving that branch is
+// pruned.
+func mid(n int) int {
+	if n <= 0 {
+		return slowpath(n)
+	}
+	return leaf(n)
+}
+
+// slowpath is reachable only through mid's early-exit branch: never
+// hot, so its allocation goes unflagged.
+func slowpath(n int) int {
+	return len(fmt.Sprintf("%d", n))
+}
+
+// leaf allocates two calls below the root: flagged, with the chain.
+func leaf(n int) int {
+	buf := make([]int, n) // want `make\(\[\]int, n\) allocates; hot paths reuse receiver-owned buffers \[hot chain: Root → mid → leaf\]`
+	s := 0
+	for _, v := range buf {
+		s += v
+	}
+	return s
+}
+
+// encoder is module-local, so CHA resolves its dispatch and the chain
+// crosses the interface boundary.
+type encoder interface {
+	encode(n int) string
+}
+
+type jsonEnc struct{}
+
+func (jsonEnc) encode(n int) string {
+	return fmt.Sprintf("%d", n) // want `fmt\.Sprintf allocates \(boxes operands, builds strings\); use strconv\.Append\* into a reused buffer \[hot chain: Encode → jsonEnc\.encode\]`
+}
+
+// Encode is a second root dispatching through the interface.
+//
+//cplint:hotpath fixture: interface-dispatch root
+func Encode(e encoder, n int) string {
+	return e.encode(n)
+}

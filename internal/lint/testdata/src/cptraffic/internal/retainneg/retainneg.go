@@ -1,0 +1,28 @@
+// Package retainneg is the retain hygiene negative control: it lives
+// outside the determinism-gated packages — retain still runs, because
+// the contract follows the //cplint:reused type, not an import path —
+// and every annotation in it is malformed in one way. The expected
+// diagnostics are asserted in annotations_test.go (a directive
+// occupies its whole line, so it cannot also carry a want comment).
+package retainneg
+
+import "cptraffic/internal/trace"
+
+var keep []int64
+
+// MissingReason retains with a reasonless directive: the escape itself
+// is suppressed (the annotation attaches), but the missing
+// justification is an error.
+func MissingReason(b *trace.Batch) {
+	//cplint:retained-ok
+	keep = b.T
+}
+
+//cplint:retained-ok a fine reason, attached to no retaining statement
+var unattached = 0
+
+// NotAType misapplies the reused marker to a variable: the contract
+// only means something on a type declaration.
+//
+//cplint:reused a variable is not a type
+var NotAType = 0

@@ -1,0 +1,125 @@
+// Package sink is the retain fixture: consumers of the reused
+// trace.Batch that hold columns past the callback frame (flagged) next
+// to the sanctioned copy idioms (clean). The package sits outside the
+// determinism-gated set on purpose — retain follows the
+// //cplint:reused type, not an import-path list.
+package sink
+
+import "cptraffic/internal/trace"
+
+var (
+	saved      []int64
+	savedBatch *trace.Batch
+	rows       []trace.Event
+	total      int64
+)
+
+// Collector is the helper-retention target: keep stores the column it
+// is handed into a field, and the call-graph summary carries that fact
+// back to every call site.
+type Collector struct {
+	Times []int64
+}
+
+func (c *Collector) keep(col []int64) {
+	c.Times = col
+}
+
+var global Collector
+
+// Direct retains the batch and a column directly.
+func Direct(b *trace.Batch) {
+	savedBatch = b // want `reused buffer escapes: b is assigned to package variable savedBatch`
+	saved = b.T    // want `reused buffer escapes: b\.T is assigned to package variable saved`
+}
+
+// FieldStore stores a column into a package-level struct field.
+func FieldStore(b *trace.Batch) {
+	global.Times = b.T // want `b\.T is stored into field global\.Times`
+}
+
+// Helper retains through a plain function call: stash's summary says
+// its parameter escapes, and the call site names what happened.
+func Helper(b *trace.Batch) {
+	stash(b.T) // want `b\.T is passed to stash, which retains it: col is assigned to package variable saved`
+}
+
+func stash(col []int64) {
+	saved = col
+}
+
+// Interp is the interprocedural acceptance case: callback → helper →
+// struct field store, with the store landing in an object that
+// outlives everything.
+func Interp(b *trace.Batch) {
+	global.keep(b.T) // want `a reused-buffer value is passed to Collector\.keep, which stores it into global`
+}
+
+// Sink is a module-local interface; CHA resolves Keep to every
+// implementer, so retention inside memSink travels to the interface
+// call site.
+type Sink interface {
+	Keep(col []int64)
+}
+
+type memSink struct{}
+
+var kept [][]int64
+
+func (memSink) Keep(col []int64) {
+	kept = append(kept, col)
+}
+
+// Dispatch hands a column through the interface.
+func Dispatch(b *trace.Batch, s Sink) {
+	s.Keep(b.T) // want `b\.T is passed to memSink\.Keep, which retains it`
+}
+
+// Chan and Spawn cover the remaining sinks: channels and goroutines
+// both outlive the callback frame.
+func Chan(b *trace.Batch, ch chan []int64) {
+	ch <- b.T // want `b\.T is sent on a channel`
+}
+
+func observe(col []int64) int { return len(col) }
+
+func Spawn(b *trace.Batch) {
+	go observe(b.T) // want `a reused-buffer value is captured by goroutine go observe`
+}
+
+// Callback shows the frame boundary on a literal: the callback is its
+// own frame, and retention inside it is flagged there.
+func Callback(events []trace.Event) {
+	trace.ScanBatches(events, func(b *trace.Batch) bool {
+		saved = b.T // want `b\.T is assigned to package variable saved`
+		return true
+	})
+}
+
+// Clean exercises every sanctioned idiom with zero annotations: none
+// of these flow a live column anywhere that outlives the frame.
+func Clean(b *trace.Batch) int {
+	rows = b.AppendTo(rows)              // row-copy idiom
+	saved = append([]int64(nil), b.T...) // fresh-backing copy
+	saved = append(b.T[:0:0], b.T...)    // zero-cap reslice copy
+	savedBatch = trace.CopyBatch(b)      // deep copy
+	var sum int64
+	for _, t := range b.T {
+		sum += t // scalar loads carry no aliases
+	}
+	total = sum
+	forward(b) // handing the batch to another reused-typed frame is the contract, not an escape
+	return b.Len()
+}
+
+func forward(b *trace.Batch) {
+	total += int64(b.Len())
+}
+
+var audit []int64
+
+// Audited retains deliberately, with the reasoned annotation.
+func Audited(b *trace.Batch) {
+	//cplint:retained-ok fixture: the audit tap drains synchronously before the next batch lands
+	audit = b.T
+}

@@ -1,0 +1,73 @@
+// Package trace is the buffer-reuse fixture stub: a miniature of the
+// real columnar event batch, annotated //cplint:reused so the retain
+// fixtures exercise the contract against the shape the pipeline uses.
+// Fixture trees shadow the module, so the stub keeps the retain
+// fixtures self-contained; its own methods double as the negative
+// space (receiver-owned writes and copy idioms report clean).
+package trace
+
+// Event is one row gathered from the columns.
+type Event struct {
+	T    int64
+	UE   uint32
+	Type uint8
+}
+
+// Batch is the reused struct-of-arrays buffer: the scanner overwrites
+// the columns after every callback.
+//
+//cplint:reused ScanBatches overwrites the columns after every callback; retained views read corrupted events
+type Batch struct {
+	T    []int64
+	UE   []uint32
+	Type []uint8
+}
+
+// Len returns the number of events in the batch.
+func (b *Batch) Len() int { return len(b.T) }
+
+// Reset empties the batch, keeping the column storage for reuse.
+func (b *Batch) Reset() {
+	b.T = b.T[:0]
+	b.UE = b.UE[:0]
+	b.Type = b.Type[:0]
+}
+
+// Append adds one event to the batch.
+func (b *Batch) Append(e Event) {
+	b.T = append(b.T, e.T)
+	b.UE = append(b.UE, e.UE)
+	b.Type = append(b.Type, e.Type)
+}
+
+// AppendTo appends the batch's events to dst in order and returns the
+// extended slice — the sanctioned row-copy idiom.
+func (b *Batch) AppendTo(dst []Event) []Event {
+	for i := range b.T {
+		dst = append(dst, Event{T: b.T[i], UE: b.UE[i], Type: b.Type[i]})
+	}
+	return dst
+}
+
+// CopyBatch returns an independent deep copy of b — the sanctioned
+// column-copy idiom.
+func CopyBatch(b *Batch) *Batch {
+	return &Batch{
+		T:    append([]int64(nil), b.T...),
+		UE:   append([]uint32(nil), b.UE...),
+		Type: append([]uint8(nil), b.Type...),
+	}
+}
+
+// ScanBatches delivers the events to fn one batch at a time, reusing a
+// single batch across calls — the contract the retain analyzer guards.
+func ScanBatches(events []Event, fn func(*Batch) bool) {
+	b := &Batch{}
+	for _, e := range events {
+		b.Reset()
+		b.Append(e)
+		if !fn(b) {
+			return
+		}
+	}
+}

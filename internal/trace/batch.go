@@ -21,6 +21,14 @@ const DefaultBatchSize = 256
 // The columns always have equal length. A Batch carries no device
 // registry; registrations travel through the same Devices callback as the
 // per-event path.
+//
+// Batches handed to ScanBatches/WriteBatch callbacks are reused: the
+// columns are overwritten after the callback returns, so consumers must
+// copy (CopyBatches, AppendTo, append(col[:0:0], col...)) anything they
+// keep. cplint's retain analyzer enforces this contract; `-tags
+// batchdebug` additionally poisons the columns on Reset at runtime.
+//
+//cplint:reused ScanBatches/WriteBatch overwrite the columns after every callback; retained views read corrupted events
 type Batch struct {
 	T    []cp.Millis
 	UE   []cp.UEID
@@ -44,8 +52,13 @@ func (b *Batch) Len() int { return len(b.T) }
 // Cap returns the batch's column capacity.
 func (b *Batch) Cap() int { return cap(b.T) }
 
-// Reset empties the batch, keeping the column storage for reuse.
+// Reset empties the batch, keeping the column storage for reuse. Under
+// `-tags batchdebug` it first scribbles poison sentinels over the full
+// column capacity, so a consumer that retained a column view past its
+// callback reads unmistakable garbage instead of silently stale or
+// silently fresh events.
 func (b *Batch) Reset() {
+	poisonBatch(b)
 	b.T = b.T[:0]
 	b.UE = b.UE[:0]
 	b.Type = b.Type[:0]
@@ -53,6 +66,8 @@ func (b *Batch) Reset() {
 
 // Grow ensures the batch can hold at least n events without reallocating,
 // preserving current contents.
+//
+//cplint:coldpath one-shot growth to the high-water capacity; steady-state batches hit the early return and reuse the grown columns
 func (b *Batch) Grow(n int) {
 	if cap(b.T) >= n {
 		return

@@ -14,9 +14,10 @@
 #
 # The ledger set is the throughput benchmarks (generate, world, and the
 # batched stream pipeline) plus the historical per-UE-hour and scanner
-# benches, the shard/merge fit, and the bounded-memory (sketched) fit
-# with its peak-heap metric, so successive BENCH_* files track the same
-# quantities across PRs. With -count N the .txt keeps every run
+# benches, the shard/merge fit, the bounded-memory (sketched) fit
+# with its peak-heap metric, and the cplint analysis cost
+# (BenchmarkLintAnalyze: per analyzer, whole suite, real module), so
+# successive BENCH_* files track the same quantities across PRs. With -count N the .txt keeps every run
 # (benchstat can consume it directly) and the .json stores the median of
 # each metric, which is the number the ledger compares. Compare two
 # ledgers with scripts/benchcmp.sh.
@@ -65,6 +66,14 @@ done
 go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -count "$COUNT" -benchmem . | tee "$TXT"
 go test -run '^$' -bench 'EngineStep' -benchtime "${STEPTIME:-2s}" -count "$COUNT" -benchmem \
 	./internal/core/ | tee -a "$TXT"
+
+# Static-analysis cost: per-analyzer and whole-suite cplint runs over
+# the fixture tree plus the suite over the real module, so the
+# call-graph substrate's cost rides the same ledger as generation
+# throughput. Type-checking happens in setup; the measured quantity is
+# analysis alone.
+go test -run '^$' -bench 'LintAnalyze' -benchtime "${LINTTIME:-3x}" -count "$COUNT" -benchmem \
+	./internal/lint/ | tee -a "$TXT"
 
 # Parse the standard benchmark lines into JSON. Metric pairs start at
 # field 3 (field 1 name, 2 iterations, then value/unit pairs). With
