@@ -6,11 +6,15 @@
 
 GO ?= go
 
-RACE_PKGS = ./internal/par/ ./internal/trace/ ./internal/core/ ./internal/world/ ./internal/eval/ ./internal/experiments/
+RACE_PKGS = ./internal/par/ ./internal/trace/ ./internal/core/ ./internal/world/ ./internal/eval/ ./internal/experiments/ ./internal/mcn/ ./internal/scenario/ ./cmd/stormsim/
 
-.PHONY: check fmt vet build lint fix test race allocs scenarios shardcheck audit bench experiments
+# Per-target fuzzing time for fuzz-smoke (two targets, so the total
+# fuzzing wall clock is twice this). CI raises it to 15s per target.
+FUZZTIME ?= 15s
 
-check: fmt vet build lint test race allocs scenarios shardcheck
+.PHONY: check fmt vet build lint fix test race allocs fuzz-smoke scenarios shardcheck audit bench experiments
+
+check: fmt vet build lint test race allocs fuzz-smoke scenarios shardcheck
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -26,7 +30,8 @@ build:
 # coverage (exhaustive), float-fold ordering (floatfold), model
 # immutability (frozen), hot-path allocation (hotalloc, plus its
 # call-graph-propagated form hotcall), par-pool write disjointness
-# (parshare), and the reused-buffer retention contract (retain).
+# (parshare), the reused-buffer retention contract (retain), and the
+# serving-era concurrency contract (guardedby, goleak, ctxflow).
 lint:
 	$(GO) run ./cmd/cplint ./...
 
@@ -55,6 +60,14 @@ race:
 # these gates itself, so they need a non-race run).
 allocs:
 	$(GO) test -run 'SteadyStateAllocs' ./internal/core/ ./internal/world/
+
+# Coverage-guided fuzzing over the two external input surfaces: the
+# scenario JSON parser (seeded from scenarios/*.json) and the
+# partialfit/1 binary decoder (seeded from fresh encodings). Both
+# targets assert decode→encode round-trip byte stability.
+fuzz-smoke:
+	$(GO) test -run '^FuzzParseScenario$$' -fuzz '^FuzzParseScenario$$' -fuzztime $(FUZZTIME) ./internal/scenario/
+	$(GO) test -run '^FuzzDecodePartial$$' -fuzz '^FuzzDecodePartial$$' -fuzztime $(FUZZTIME) ./internal/core/
 
 # Smoke-run every starter scenario through stormsim at reduced scale:
 # validation, world simulation, storm replay, and the byte-identity

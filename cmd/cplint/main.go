@@ -1,7 +1,9 @@
 // Command cplint runs the repo's custom static-analysis suite: the
-// nine analyzers in internal/lint that turn the determinism,
-// state-machine, hot-path, immutability, and concurrency invariants
-// into build-time errors.
+// twelve analyzers in internal/lint that turn the determinism,
+// state-machine, hot-path, immutability, and concurrency invariants —
+// including the serving-era lock-guard (guardedby), goroutine-lifetime
+// (goleak), and cancellation-propagation (ctxflow) contracts — into
+// build-time errors.
 //
 // Usage:
 //
@@ -14,8 +16,10 @@
 // distinguish "invariant violated" from "could not analyze".
 //
 // -fix applies each diagnostic's suggested edit, gofmts the result,
-// and is idempotent: a second run finds the fixed sites clean.
-// -json writes the stable cplint/3 report to stdout; -sarif writes a
+// and is idempotent: a second run finds the fixed sites clean. When two
+// different analyzers propose edits on overlapping spans, -fix refuses
+// before touching any file and exits 2 naming both analyzers.
+// -json writes the stable cplint/4 report to stdout; -sarif writes a
 // SARIF 2.1.0 log for GitHub code scanning to the named file. Both
 // are byte-deterministic for a given tree, independent of -workers.
 package main
@@ -40,7 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	fix := fs.Bool("fix", false, "apply suggested fixes, gofmt the touched files, and report what remains")
-	jsonOut := fs.Bool("json", false, "write the cplint/2 JSON report to stdout instead of plain text")
+	jsonOut := fs.Bool("json", false, "write the cplint/4 JSON report to stdout instead of plain text")
 	sarif := fs.String("sarif", "", "also write a SARIF 2.1.0 report to this `file`")
 	workers := fs.Int("workers", 0, "parallel type-check/analyze workers (0 = GOMAXPROCS; output is identical for any value)")
 	dir := fs.String("C", "", "run in `dir` (the module to analyze) instead of the current directory")

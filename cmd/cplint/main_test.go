@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"go/format"
+	"go/token"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"cptraffic/internal/lint"
 )
 
 // The CLI is tested end to end against a throwaway module: run() is
@@ -119,14 +122,14 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, name := range []string{"detmap", "detsource", "exhaustive", "floatfold", "frozen", "hotalloc", "hotcall", "parshare", "retain"} {
+	for _, name := range []string{"ctxflow", "detmap", "detsource", "exhaustive", "floatfold", "frozen", "goleak", "guardedby", "hotalloc", "hotcall", "parshare", "retain"} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output missing %q:\n%s", name, stdout)
 		}
 	}
 }
 
-// TestJSONSchema pins the cplint/3 report shape: stable field names,
+// TestJSONSchema pins the cplint/4 report shape: stable field names,
 // module-relative forward-slash paths, and byte-determinism across
 // worker counts.
 func TestJSONSchema(t *testing.T) {
@@ -150,8 +153,8 @@ func TestJSONSchema(t *testing.T) {
 	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
 		t.Fatalf("output is not the expected JSON: %v\n%s", err, stdout)
 	}
-	if rep.Version != "cplint/3" {
-		t.Errorf("version = %q, want cplint/3", rep.Version)
+	if rep.Version != "cplint/4" {
+		t.Errorf("version = %q, want cplint/4", rep.Version)
 	}
 	if rep.Packages != 2 {
 		t.Errorf("packages = %d, want 2", rep.Packages)
@@ -219,8 +222,8 @@ func TestSARIFReport(t *testing.T) {
 		t.Fatalf("unexpected SARIF envelope: version %q, %d runs", log.Version, len(log.Runs))
 	}
 	run := log.Runs[0]
-	if run.Tool.Driver.Name != "cplint" || len(run.Tool.Driver.Rules) != 9 {
-		t.Errorf("driver = %q with %d rules, want cplint with 9", run.Tool.Driver.Name, len(run.Tool.Driver.Rules))
+	if run.Tool.Driver.Name != "cplint" || len(run.Tool.Driver.Rules) != 12 {
+		t.Errorf("driver = %q with %d rules, want cplint with 12", run.Tool.Driver.Name, len(run.Tool.Driver.Rules))
 	}
 	if len(run.Results) != 1 || run.Results[0].RuleID != "exhaustive" {
 		t.Fatalf("unexpected results: %+v", run.Results)
@@ -228,6 +231,79 @@ func TestSARIFReport(t *testing.T) {
 	loc := run.Results[0].Locations[0].Physical
 	if loc.Artifact.URI != "internal/core/classify.go" || loc.Region.StartLine == 0 {
 		t.Errorf("unexpected location: %+v", loc)
+	}
+}
+
+// TestFixCollisionRefused pins the cross-analyzer overlap policy of
+// ApplyFixes, which -fix exposes as exit 2: no pair of current
+// analyzers can naturally propose edits on the same span (hotcall
+// inserts at declarations, exhaustive inside switches, ctxflow rewrites
+// arguments), so the collision is fabricated — two analyzers rewriting
+// the same bytes must refuse the whole run before any file is written,
+// naming both analyzers, while a same-analyzer overlap keeps the first
+// edit and defers the rest.
+func TestFixCollisionRefused(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "clash.go")
+	src := "package clash\n\nvar v = 1\n"
+	if err := os.WriteFile(target, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pos := func(offset, line int) lint.TextEdit {
+		return lint.TextEdit{
+			Pos: token.Position{Filename: target, Offset: offset, Line: line},
+			End: token.Position{Filename: target, Offset: offset + 1, Line: line},
+			New: "w",
+		}
+	}
+	diag := func(analyzer string, e lint.TextEdit) lint.Diagnostic {
+		return lint.Diagnostic{
+			Analyzer: analyzer,
+			Pos:      e.Pos,
+			Message:  "fabricated",
+			Fixes:    []lint.SuggestedFix{{Message: "rewrite", Edits: []lint.TextEdit{e}}},
+		}
+	}
+
+	// Two analyzers, same span: refused, file untouched.
+	off := strings.Index(src, "v =")
+	files, applied, err := lint.ApplyFixes([]lint.Diagnostic{
+		diag("exhaustive", pos(off, 3)),
+		diag("ctxflow", pos(off, 3)),
+	})
+	if err == nil {
+		t.Fatalf("overlapping cross-analyzer fixes applied: files=%v applied=%d", files, applied)
+	}
+	for _, name := range []string{"exhaustive", "ctxflow", "clash.go:3"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("collision error %q does not name %q", err, name)
+		}
+	}
+	after, rerr := os.ReadFile(target)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(after) != src {
+		t.Errorf("refused run still modified the file:\n%s", after)
+	}
+
+	// Same analyzer, same span: first edit wins, no error.
+	files, applied, err = lint.ApplyFixes([]lint.Diagnostic{
+		diag("exhaustive", pos(off, 3)),
+		diag("exhaustive", pos(off, 3)),
+	})
+	if err != nil {
+		t.Fatalf("same-analyzer overlap should defer, not fail: %v", err)
+	}
+	if len(files) != 1 || applied != 1 {
+		t.Errorf("same-analyzer overlap: files=%v applied=%d, want 1 file 1 fix", files, applied)
+	}
+	after, rerr = os.ReadFile(target)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !strings.Contains(string(after), "w = 1") {
+		t.Errorf("kept edit not applied:\n%s", after)
 	}
 }
 

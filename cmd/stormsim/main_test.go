@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"cptraffic/internal/scenario"
+)
+
+// TestRunWorkerIdentity drives one real scenario through the full
+// simulate→storm pipeline at 1 and 8 workers and requires byte-equal
+// trace and report output — the same contract the -selftest flag
+// enforces in CI, here at a scale small enough for the race detector
+// (this package is in RACE_PKGS because run() fans out worker pools).
+func TestRunWorkerIdentity(t *testing.T) {
+	s, err := scenario.Load("../../scenarios/stadium-event.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = s.Scaled(0.02)
+	tb1, rb1, rep, err := run(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb8, rb8, _, err := run(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tb1, tb8) {
+		t.Errorf("trace bytes differ between 1 and 8 workers (%d vs %d bytes)", len(tb1), len(tb8))
+	}
+	if !bytes.Equal(rb1, rb8) {
+		t.Errorf("report bytes differ between 1 and 8 workers")
+	}
+	if rep.Events == 0 {
+		t.Error("scaled scenario produced zero events; the fixture no longer exercises the pipeline")
+	}
+	drops, retries, peakQ, _ := peaks(rep)
+	if drops < 0 || retries < 0 || peakQ < 0 {
+		t.Errorf("negative aggregates: drops=%d retries=%d peakQueue=%d", drops, retries, peakQ)
+	}
+}

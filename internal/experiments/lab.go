@@ -66,12 +66,12 @@ type Lab struct {
 	Cfg Config
 
 	mu     sync.Mutex
-	train  *trace.Trace
-	realS1 *trace.Trace
-	realS2 *trace.Trace
-	models map[string]*core.ModelSet
-	genS1  map[string]*trace.Trace
-	genS2  map[string]*trace.Trace
+	train  *trace.Trace              //cplint:guardedby mu
+	realS1 *trace.Trace              //cplint:guardedby mu
+	realS2 *trace.Trace              //cplint:guardedby mu
+	models map[string]*core.ModelSet //cplint:guardedby mu
+	genS1  map[string]*trace.Trace   //cplint:guardedby mu
+	genS2  map[string]*trace.Trace   //cplint:guardedby mu
 }
 
 // NewLab returns an empty lab for the configuration.

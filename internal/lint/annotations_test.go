@@ -136,6 +136,50 @@ func TestRetainDirectiveHygiene(t *testing.T) {
 	}
 }
 
+// TestConcurrencyDirectiveHygiene runs the full suite over the
+// concurrency negative-control fixture: the reasonless guardedby, the
+// guardedby naming a non-mutex sibling, and the three unattached
+// suppressions each produce exactly one diagnostic — and the leaky
+// goroutine at the bottom of the fixture produces none, because the
+// package path is outside the concurrency gate.
+func TestConcurrencyDirectiveHygiene(t *testing.T) {
+	l := fixtureLoader(t)
+	pkgs, err := l.LoadPaths("cptraffic/internal/concneg")
+	if err != nil {
+		t.Fatalf("loading concurrency hygiene fixture: %v", err)
+	}
+	diags := Analyze(pkgs, All())
+
+	want := []struct {
+		line int
+		sub  string
+	}{
+		{13, "//cplint:guardedby needs the guarding mutex field name"},
+		{14, `names "lock", which is not a sync.Mutex or sync.RWMutex field of Bad`},
+		{18, "not attached to a lock-free access of a guarded field"},
+		{21, "not attached to a go statement"},
+		{24, "not attached to a detached-context argument"},
+	}
+	if len(diags) != len(want) {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(want))
+	}
+	for i, w := range want {
+		d := diags[i]
+		if d.Pos.Line != w.line || !strings.Contains(d.Message, w.sub) {
+			t.Errorf("diagnostic %d: got line %d %q, want line %d containing %q",
+				i, d.Pos.Line, d.Message, w.line, w.sub)
+		}
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "goroutine") {
+			t.Errorf("goleak fired outside the concurrency gate: %s", d)
+		}
+	}
+}
+
 // TestMalformedDirectiveStillSuppresses documents the failure mode of a
 // reasonless ordered-ok: the annotated loop itself is not re-reported
 // (the annotation is attached), but the missing reason is an error, so

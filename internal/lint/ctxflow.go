@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow keeps cancellation flowing: inside a function that takes a
+// named context.Context parameter, passing a detached context —
+// context.Background(), context.TODO(), or anything derived from one
+// via context.With* — to a context-accepting callee breaks the
+// cancellation chain and is flagged. The fix is to pass the in-scope
+// context (or a context.With* derivative of it); a deliberate detach
+// (fire-and-forget audit write, shutdown-path cleanup) takes a
+// reasoned //cplint:detached-ok on the argument. Entry points —
+// functions with no context parameter, such as main and tests — are
+// where Background() belongs and are exempt. When the offending
+// argument is a literal context.Background()/TODO() call the
+// diagnostic carries a suggested fix substituting the in-scope
+// parameter.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags context.Background()/TODO() laundering below an entry point: pass the in-scope context so cancellation propagates",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &ctxChecker{pass: pass, info: pass.Pkg.Info, laundered: make(map[types.Object]bool)}
+			c.taint(fd.Body)
+			c.flag(fd.Body, ctxParamName(pass.Pkg.Info, fd.Type))
+		}
+	}
+	return nil
+}
+
+type ctxChecker struct {
+	pass      *Pass
+	info      *types.Info
+	laundered map[types.Object]bool // Context vars assigned from a detached source
+}
+
+// taint grows the laundered-variable set to a fixpoint over the
+// function's assignments (nested literals included — they share the
+// frame's variables).
+func (c *ctxChecker) taint(body *ast.BlockStmt) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				o := c.info.Defs[id]
+				if o == nil {
+					o = c.info.Uses[id]
+				}
+				if o == nil || !isCtxType(o.Type()) || c.laundered[o] {
+					continue
+				}
+				var rhs ast.Expr
+				switch {
+				case len(as.Rhs) == len(as.Lhs):
+					rhs = as.Rhs[i]
+				case len(as.Rhs) == 1:
+					// ctx, cancel := context.WithCancel(...): one
+					// multi-value rhs feeds every lhs.
+					rhs = as.Rhs[0]
+				}
+				if rhs != nil && c.launderedExpr(rhs) {
+					c.laundered[o] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// launderedExpr reports whether an expression yields a detached
+// context: a Background()/TODO() call, a laundered variable, or a
+// context.With* of either.
+func (c *ctxChecker) launderedExpr(e ast.Expr) bool {
+	switch e := unparenExpr(e).(type) {
+	case *ast.Ident:
+		o := c.info.Uses[e]
+		if o == nil {
+			o = c.info.Defs[e]
+		}
+		return o != nil && c.laundered[o]
+	case *ast.CallExpr:
+		switch name := ctxPkgFunc(c.info, e); {
+		case name == "Background" || name == "TODO":
+			return true
+		case strings.HasPrefix(name, "With") && len(e.Args) > 0:
+			return c.launderedExpr(e.Args[0])
+		}
+	}
+	return false
+}
+
+// flag walks the body reporting laundered arguments in context.Context
+// parameter positions, tracking the innermost named context parameter
+// (a nested literal with its own context parameter rebinds scope).
+func (c *ctxChecker) flag(body *ast.BlockStmt, ctxName string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inner := ctxParamName(c.info, n.Type)
+			if inner == "" {
+				inner = ctxName
+			}
+			c.flag(n.Body, inner)
+			return false
+		case *ast.CallExpr:
+			c.checkCall(n, ctxName)
+		}
+		return true
+	})
+}
+
+func (c *ctxChecker) checkCall(call *ast.CallExpr, ctxName string) {
+	if ctxName == "" {
+		return // entry point: Background()/TODO() belong here
+	}
+	if ctxPkgFunc(c.info, call) != "" {
+		return // constructing a derived context is not a sink; its uses are
+	}
+	sig, _ := c.info.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		if !isCtxType(paramTypeAt(sig, i)) || !c.launderedExpr(arg) {
+			continue
+		}
+		if directiveAt(c.pass.Pkg, DirDetachedOK, arg.Pos()) != nil {
+			continue
+		}
+		callee := calleeName(call)
+		if lit := literalDetached(c.info, arg); lit != "" {
+			fix := SuggestedFix{
+				Message: fmt.Sprintf("pass %s instead of context.%s()", ctxName, lit),
+				Edits:   []TextEdit{c.pass.Edit(arg.Pos(), arg.End(), ctxName)},
+			}
+			c.pass.ReportFixf(arg.Pos(), fix, "context.%s() passed to %s while %s is in scope: cancellation stops here; pass %s (or a context.With* derivative) or annotate //cplint:detached-ok <why>", lit, callee, ctxName, ctxName)
+			continue
+		}
+		c.pass.Reportf(arg.Pos(), "context derived from context.Background()/TODO() passed to %s while %s is in scope: cancellation stops here; derive from %s or annotate //cplint:detached-ok <why>", callee, ctxName, ctxName)
+	}
+}
+
+// paramTypeAt returns the static type of argument position i,
+// variadic-aware.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if sl, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i < n {
+		return sig.Params().At(i).Type()
+	}
+	return nil
+}
+
+// ctxPkgFunc returns the name of the context-package function a call
+// targets ("Background", "TODO", "WithCancel", ...), or "".
+func ctxPkgFunc(info *types.Info, call *ast.CallExpr) string {
+	if call == nil {
+		return ""
+	}
+	sel, ok := unparenExpr(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "context" {
+		return ""
+	}
+	return f.Name()
+}
+
+// literalDetached returns "Background" or "TODO" when the argument is
+// literally that call, "" otherwise (derived or variable).
+func literalDetached(info *types.Info, arg ast.Expr) string {
+	call, ok := unparenExpr(arg).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	switch name := ctxPkgFunc(info, call); name {
+	case "Background", "TODO":
+		return name
+	}
+	return ""
+}
+
+// ctxParamName returns the first named context.Context parameter of a
+// function type, or "" (no parameter, or only a blank one — a function
+// that discards its context cannot propagate it).
+func ctxParamName(info *types.Info, ft *ast.FuncType) string {
+	if ft == nil || ft.Params == nil {
+		return ""
+	}
+	for _, field := range ft.Params.List {
+		if !isCtxType(info.TypeOf(field.Type)) {
+			continue
+		}
+		for _, n := range field.Names {
+			if n.Name != "_" {
+				return n.Name
+			}
+		}
+	}
+	return ""
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := unparenExpr(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "the callee"
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -10,11 +10,16 @@ import (
 // ApplyFixes applies the first suggested fix of every diagnostic that
 // carries one, gofmts each touched file, and writes it back. Edits are
 // applied per file from the highest offset down so earlier offsets
-// stay valid; overlapping edits (two fixes rewriting the same bytes)
-// keep the first in diagnostic order and drop the rest, which the next
-// run then re-evaluates — running -fix to a fixed point is safe
-// because a fix resolves its diagnostic, so a second run has nothing
-// left to apply.
+// stay valid.
+//
+// Overlap policy: two edits from the SAME analyzer on the same span
+// keep the first in diagnostic order and drop the rest — the next run
+// re-evaluates what is left, and running -fix to a fixed point is safe
+// because a fix resolves its diagnostic. Two edits from DIFFERENT
+// analyzers on the same span are refused outright, before any file is
+// written: neither analyzer can know what the merged text means, and
+// last-write-wins would silently corrupt one of the fixes. The error
+// names the file, line, and both analyzers so a human can pick.
 //
 // Returns the fixed file names (sorted) and the number of fixes
 // applied.
@@ -22,6 +27,8 @@ func ApplyFixes(diags []Diagnostic) (files []string, applied int, err error) {
 	type edit struct {
 		start, end int
 		new        string
+		analyzer   string
+		line       int
 	}
 	perFile := make(map[string][]edit)
 	for _, d := range diags {
@@ -29,7 +36,8 @@ func ApplyFixes(diags []Diagnostic) (files []string, applied int, err error) {
 			continue
 		}
 		for _, e := range d.Fixes[0].Edits {
-			perFile[e.Pos.Filename] = append(perFile[e.Pos.Filename], edit{e.Pos.Offset, e.End.Offset, e.New})
+			perFile[e.Pos.Filename] = append(perFile[e.Pos.Filename],
+				edit{e.Pos.Offset, e.End.Offset, e.New, d.Analyzer, e.Pos.Line})
 		}
 	}
 	for name := range perFile {
@@ -37,31 +45,52 @@ func ApplyFixes(diags []Diagnostic) (files []string, applied int, err error) {
 	}
 	sort.Strings(files)
 
+	// Validate every file before writing any: a cross-analyzer
+	// collision anywhere refuses the whole run, leaving the tree
+	// untouched.
+	keptPerFile := make(map[string][]edit, len(files))
+	for _, name := range files {
+		edits := perFile[name]
+		// Stable order: by start offset, ties keep diagnostic order.
+		sort.SliceStable(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		kept := edits[:0]
+		lastEnd := -1
+		lastBy := ""
+		for _, e := range edits {
+			overlaps := e.start < lastEnd
+			if overlaps && e.analyzer != lastBy {
+				return nil, 0, fmt.Errorf("%s:%d: overlapping fixes from analyzers %s and %s; apply one, re-run cplint, then the other",
+					name, e.line, lastBy, e.analyzer)
+			}
+			if overlaps || e.start < 0 || e.end < e.start {
+				continue // same-analyzer overlap or malformed: defer to the next run
+			}
+			kept = append(kept, e)
+			lastEnd = e.end
+			lastBy = e.analyzer
+			if e.end == e.start {
+				lastEnd = e.end + 1 // two insertions at one point would reorder; keep the first
+			}
+		}
+		keptPerFile[name] = kept
+	}
+
 	var fixed []string
 	for _, name := range files {
 		src, err := os.ReadFile(name)
 		if err != nil {
 			return fixed, applied, err
 		}
-		edits := perFile[name]
-		// Stable order: by start offset, ties keep diagnostic order.
-		sort.SliceStable(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
-		kept := edits[:0]
-		lastEnd := -1
-		for _, e := range edits {
-			if e.start < lastEnd || e.start < 0 || e.end > len(src) || e.end < e.start {
-				continue // overlapping or out of range: defer to the next run
-			}
-			kept = append(kept, e)
-			lastEnd = e.end
-			if e.end == e.start {
-				lastEnd = e.end + 1 // two insertions at one point would reorder; keep the first
-			}
-		}
+		kept := keptPerFile[name]
+		n := 0
 		out := src
 		for i := len(kept) - 1; i >= 0; i-- {
 			e := kept[i]
+			if e.end > len(src) {
+				continue // out of range for the file on disk: defer to the next run
+			}
 			out = append(out[:e.start:e.start], append([]byte(e.new), out[e.end:]...)...)
+			n++
 		}
 		formatted, ferr := format.Source(out)
 		if ferr != nil {
@@ -71,7 +100,7 @@ func ApplyFixes(diags []Diagnostic) (files []string, applied int, err error) {
 			return fixed, applied, err
 		}
 		fixed = append(fixed, name)
-		applied += len(kept)
+		applied += n
 	}
 	return fixed, applied, nil
 }

@@ -1,0 +1,277 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak demands a provable termination signal for every go statement
+// in the concurrency-gated packages (ConcurrencyPackages): the
+// goroutine body must not loop unboundedly — an unconditional for-loop
+// needs a select arm that receives a cancellation signal
+// (<-ctx.Done(), <-done) and exits, and a range over a channel needs
+// some function in the module closure to close that channel — or the
+// body must join a sync.WaitGroup that is Wait()ed somewhere in the
+// closure (a stuck goroutine then deadlocks Wait loudly instead of
+// leaking silently). A goroutine whose target is a dynamic func value
+// cannot be proven and is flagged too. Deliberately unbounded
+// lifetimes take a reasoned //cplint:leak-ok on the go statement.
+//
+// The check is the static counterpart of `make race`: the serving
+// daemon's subscriber/watcher goroutines must not outlive their
+// session, and the proof obligation lands where the goroutine is born.
+var GoLeak = &Analyzer{
+	Name:       "goleak",
+	Doc:        "flags go statements in gated packages with no provable termination signal (ctx.Done select arm, closed channel, Wait()ed WaitGroup)",
+	Run:        runGoLeak,
+	NeedsGraph: true,
+}
+
+func runGoLeak(pass *Pass) error {
+	gated := inConcurrencyPackage(pass.Pkg.Path)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			// Claim the directive in every package so an annotation on a
+			// go statement outside the gate is attached, not an error.
+			dir := directiveAt(pass.Pkg, DirLeakOK, gs.Pos())
+			if !gated {
+				return true
+			}
+			problem := goleakProblem(pass, gs)
+			if problem == "" || dir != nil {
+				return true
+			}
+			pass.Reportf(gs.Pos(), "%s; prove termination (select on <-ctx.Done(), close the channel, or join a Wait()ed sync.WaitGroup) or annotate //cplint:leak-ok <why>", problem)
+			return true
+		})
+	}
+	return nil
+}
+
+// goleakProblem returns the first termination obstruction of one go
+// statement, or "" when the goroutine's lifetime is provably bounded.
+func goleakProblem(pass *Pass, gs *ast.GoStmt) string {
+	g := pass.Graph
+	info := pass.Pkg.Info
+	var bodies []*ast.BlockStmt
+	switch fun := unparenExpr(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		bodies = []*ast.BlockStmt{fun.Body}
+	default:
+		rc := g.resolve(pass.Pkg, gs.Call)
+		if len(rc.callees) == 0 {
+			return "goroutine target is a dynamic func value: termination cannot be proven"
+		}
+		for _, c := range rc.callees {
+			bodies = append(bodies, c.Decl.Body)
+		}
+	}
+	for _, body := range bodies {
+		problem := ""
+		ast.Inspect(body, func(n ast.Node) bool {
+			if problem != "" {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				// A nested literal is a different goroutine's problem
+				// (or plain synchronous code); don't scan into it.
+				return false
+			case *ast.ForStmt:
+				if n.Cond == nil && !selectExits(n.Body) {
+					problem = fmt.Sprintf("goroutine loops forever (line %d) with no select arm that receives a stop signal and exits", pass.Fset.Position(n.Pos()).Line)
+				}
+			case *ast.RangeStmt:
+				if isChanType(info.TypeOf(n.X)) && !anyIn(signalObjs(info, n.X), g.closedChans) {
+					problem = fmt.Sprintf("goroutine ranges over a channel (line %d) no function in the module closes", pass.Fset.Position(n.Pos()).Line)
+				}
+			}
+			return true
+		})
+		if problem != "" {
+			if joinsWaitGroup(g, info, body) {
+				continue // a leak would deadlock Wait loudly, not linger silently
+			}
+			return problem
+		}
+	}
+	return ""
+}
+
+// selectExits reports whether the loop body contains a select with a
+// receive arm whose body leaves the goroutine: ends in return, panic,
+// or a labeled break (a bare break only leaves the select).
+func selectExits(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || !isRecvComm(cc.Comm) {
+				continue
+			}
+			if exitsGoroutine(cc.Body) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isRecvComm reports whether a select comm case is a channel receive:
+// `<-ch:`, `v := <-ch:`, or `v, ok := <-ch:`.
+func isRecvComm(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		u, ok := unparenExpr(s.X).(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			u, ok := unparenExpr(s.Rhs[0]).(*ast.UnaryExpr)
+			return ok && u.Op == token.ARROW
+		}
+	}
+	return false
+}
+
+// exitsGoroutine reports whether a clause body leaves the enclosing
+// loop for good: return, panic, or a labeled break.
+func exitsGoroutine(list []ast.Stmt) bool {
+	if terminates(list) {
+		return true
+	}
+	if len(list) > 0 {
+		if br, ok := list[len(list)-1].(*ast.BranchStmt); ok && br.Tok == token.BREAK && br.Label != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// joinsWaitGroup reports whether the goroutine body calls Done on a
+// sync.WaitGroup some function in the closure Waits on.
+func joinsWaitGroup(g *Graph, info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparenExpr(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" || !isWaitGroup(info.TypeOf(sel.X)) {
+			return true
+		}
+		if anyIn(signalObjs(info, sel.X), g.waitedGroups) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// collectSignals records, once per graph build, goleak's termination
+// witnesses: every channel the closure closes and every sync.WaitGroup
+// it Waits on, by object identity (field object and root object both,
+// so `p.done` matches whether named through the field or the struct).
+func (g *Graph) collectSignals() {
+	for _, fn := range g.order {
+		info := fn.Pkg.Info
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := unparenExpr(call.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "close" && len(call.Args) == 1 && isBuiltin(info.Uses[fun]) {
+					for _, o := range signalObjs(info, call.Args[0]) {
+						g.closedChans[o] = true
+					}
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Wait" && isWaitGroup(info.TypeOf(fun.X)) {
+					for _, o := range signalObjs(info, fun.X) {
+						g.waitedGroups[o] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// signalObjs names an expression for signal matching: the selected
+// field object (for p.done) plus the root variable of the chain.
+func signalObjs(info *types.Info, e ast.Expr) []types.Object {
+	var out []types.Object
+	if sel, ok := unparenExpr(e).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Obj() != nil {
+			out = append(out, s.Obj())
+		}
+	}
+	if id := retainRoot(e); id != nil {
+		if o := info.Uses[id]; o != nil {
+			out = append(out, o)
+		} else if o := info.Defs[id]; o != nil {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func isBuiltin(o types.Object) bool {
+	_, ok := o.(*types.Builtin)
+	return ok
+}
+
+func anyIn(objs []types.Object, set map[types.Object]bool) bool {
+	for _, o := range objs {
+		if set[o] {
+			return true
+		}
+	}
+	return false
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

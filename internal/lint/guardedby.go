@@ -1,0 +1,819 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GuardedBy enforces the //cplint:guardedby lock contract: a struct
+// field annotated `//cplint:guardedby <mutexField>` may only be read or
+// written while the named sync.Mutex/RWMutex field on the same struct
+// is held. The check is interprocedural: a per-function "locks held on
+// entry" summary is propagated over the call graph, so a method that
+// locks and then calls an unexported helper is clean, while a helper
+// reached both locked and unlocked is flagged with the unlocked call
+// chain named [lock chain: A → B] style. `defer mu.Unlock()` keeps the
+// lock held to the end of the function; branches join by intersection,
+// so early returns and partial unlock paths are handled. For an
+// RWMutex, RLock suffices for reads and Lock is required for writes.
+// Deliberate lock-free access (constructors beyond composite literals,
+// sync.Once-published state) takes a reasoned //cplint:unguarded-ok.
+//
+// The analysis is sound-for-flagging, not complete: exported functions
+// are assumed to be entered with no locks held (tests and other modules
+// call them), func literals are checked with an empty lock set (they
+// may run at any time), and go/defer call sites transfer no locks.
+// Composite-literal construction (`&Lab{train: t}`) is exempt — the
+// value is not shared yet.
+var GuardedBy = &Analyzer{
+	Name:       "guardedby",
+	Doc:        "flags access to //cplint:guardedby fields without the named mutex held, propagating entry-lock summaries over the call graph",
+	Run:        runGuardedBy,
+	NeedsGraph: true,
+}
+
+func runGuardedBy(pass *Pass) error {
+	g := pass.Graph
+	if g == nil {
+		return nil
+	}
+	for _, d := range g.lockDiags[pass.Pkg] {
+		if d.suppressible && directiveAt(pass.Pkg, DirUnguardedOK, d.pos) != nil {
+			continue
+		}
+		pass.Reportf(d.pos, "%s", d.msg)
+	}
+	return nil
+}
+
+// A guardInfo is one guarded field's contract: the sibling mutex that
+// must be held, computed once at graph construction.
+type guardInfo struct {
+	mu    *types.Var // the guarding mutex field on the same struct
+	rw    bool       // the mutex is a sync.RWMutex
+	owner string     // declaring struct name, for diagnostics
+	dir   *Directive
+}
+
+// A lockDiag is one guardedby finding, stored on the graph and emitted
+// by the per-package pass (which applies //cplint:unguarded-ok).
+type lockDiag struct {
+	pos          token.Pos
+	msg          string
+	suppressible bool
+}
+
+// Held levels. For a plain Mutex, Lock() grants heldW; for an RWMutex,
+// RLock() grants heldR and Lock() grants heldW. Reads need ≥ heldR,
+// writes need heldW.
+const (
+	heldR = 1
+	heldW = 2
+)
+
+// A lockKey names one mutex instance as far as the analysis can tell:
+// the root variable the selector chain starts at, plus the mutex field.
+type lockKey struct {
+	root types.Object
+	mu   *types.Var
+}
+
+type heldSet map[lockKey]int
+
+// A lockSite is one resolved call site with the lock state at it.
+type lockSite struct {
+	pos     token.Pos
+	callees []*GraphFunc
+	args    []types.Object // receiver-first root object per argument, nil when not a simple variable
+	held    heldSet
+	async   bool // go or defer: locks do not transfer to the callee
+}
+
+// A lockUse is one access of a guarded field.
+type lockUse struct {
+	pos   token.Pos
+	fld   *types.Var
+	gi    *guardInfo
+	root  types.Object // root variable of the selector chain, nil when not simple
+	write bool
+	level int // held level for (root, mu) at the access, entry credit included
+}
+
+// fieldDirective claims a directive attached to a struct field: in the
+// field's doc comment, or trailing on the field's own line — never the
+// line above, which on consecutive annotated fields is the previous
+// field's trailer.
+func fieldDirective(pkg *Package, name string, field *ast.Field) *Directive {
+	if field.Doc != nil {
+		return claimDoc(pkg, name, field.Doc, field.Pos())
+	}
+	p := pkg.fset.Position(field.Pos())
+	for _, d := range pkg.directives {
+		if d.Name == name && d.File == p.Filename && d.Line == p.Line {
+			d.used = true
+			return d
+		}
+	}
+	return nil
+}
+
+// mutexKind classifies t: 0 not a mutex, 1 sync.Mutex, 2 sync.RWMutex.
+// Pointers to either count.
+func mutexKind(t types.Type) int {
+	if t == nil {
+		return 0
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return 0
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return 0
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return 1
+	case "RWMutex":
+		return 2
+	}
+	return 0
+}
+
+// indexGuardedFields claims //cplint:guardedby directives on the
+// struct's fields and records the guard contracts. A directive naming
+// something that is not a sibling mutex field is an error (stored as a
+// non-suppressible finding).
+func (g *Graph) indexGuardedFields(pkg *Package, ts *ast.TypeSpec, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 {
+			continue // embedded field: no name to guard
+		}
+		dir := fieldDirective(pkg, DirGuardedBy, field)
+		if dir == nil || dir.Reason == "" {
+			continue // missing mutex name is validateDirectives' diagnostic
+		}
+		muName := strings.Fields(dir.Reason)[0]
+		var muVar *types.Var
+		for _, sib := range st.Fields.List {
+			for _, n := range sib.Names {
+				if n.Name == muName {
+					muVar, _ = pkg.Info.Defs[n].(*types.Var)
+				}
+			}
+		}
+		kind := 0
+		if muVar != nil {
+			kind = mutexKind(muVar.Type())
+		}
+		if kind == 0 {
+			g.lockDiags[pkg] = append(g.lockDiags[pkg], lockDiag{
+				pos: dir.Pos,
+				msg: fmt.Sprintf("//cplint:guardedby names %q, which is not a sync.Mutex or sync.RWMutex field of %s", muName, ts.Name.Name),
+			})
+			continue
+		}
+		for _, n := range field.Names {
+			fv, _ := pkg.Info.Defs[n].(*types.Var)
+			if fv == nil || fv == muVar {
+				continue
+			}
+			g.guarded[fv] = &guardInfo{mu: muVar, rw: kind == 2, owner: ts.Name.Name, dir: dir}
+		}
+	}
+}
+
+// ---- the lock-state walk ----
+
+// A lockWalker computes, for one function body, the held-lock set at
+// every statement: Lock/RLock add, Unlock/RUnlock remove, a deferred
+// unlock keeps the lock to the end of the function, branches join by
+// intersection, and loop bodies run from the intersection of entry and
+// one probe pass (a lock taken and released inside an iteration is not
+// held at the top of the next one). Call sites and guarded-field
+// accesses are recorded with the state at them.
+type lockWalker struct {
+	g      *Graph
+	fn     *GraphFunc
+	pkg    *Package
+	record bool // collect uses (final pass) as well as sites
+	mute   int  // > 0 during loop probe passes: record nothing
+
+	sites []lockSite
+	uses  []lockUse
+}
+
+func (w *lockWalker) walkFunc() {
+	h := heldSet{}
+	sig, _ := w.fn.Obj.Type().(*types.Signature)
+	for i, p := range paramVars(sig) {
+		if i < len(w.fn.lockEntry) {
+			for mu, lvl := range w.fn.lockEntry[i] {
+				h[lockKey{p, mu}] = lvl
+			}
+		}
+	}
+	w.block(w.fn.Decl.Body.List, h)
+}
+
+func copyHeld(h heldSet) heldSet {
+	out := make(heldSet, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+func intersectHeld(a, b heldSet) heldSet {
+	out := heldSet{}
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			if vb < va {
+				va = vb
+			}
+			out[k] = va
+		}
+	}
+	return out
+}
+
+func (w *lockWalker) block(list []ast.Stmt, h heldSet) heldSet {
+	for _, s := range list {
+		h = w.stmt(s, h)
+	}
+	return h
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, h heldSet) heldSet {
+	switch s := s.(type) {
+	case nil:
+		return h
+	case *ast.BlockStmt:
+		if s == nil {
+			return h
+		}
+		return w.block(s.List, h)
+	case *ast.ExprStmt:
+		if key, op, ok := w.lockOp(s.X); ok {
+			return applyLock(h, key, op)
+		}
+		w.expr(s.X, h, false)
+		return h
+	case *ast.DeferStmt:
+		if _, op, ok := w.lockOp(s.Call); ok {
+			// defer mu.Unlock(): the lock stays held to every return.
+			// (A deferred Lock would be nonsense; also a state no-op.)
+			_ = op
+			return h
+		}
+		w.call(s.Call, h, true)
+		return h
+	case *ast.GoStmt:
+		w.call(s.Call, h, true)
+		return h
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.expr(r, h, false)
+		}
+		for _, l := range s.Lhs {
+			w.expr(l, h, true)
+		}
+		return h
+	case *ast.IncDecStmt:
+		w.expr(s.X, h, true)
+		return h
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, h, false)
+					}
+				}
+			}
+		}
+		return h
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r, h, false)
+		}
+		return h
+	case *ast.SendStmt:
+		w.expr(s.Chan, h, false)
+		w.expr(s.Value, h, false)
+		return h
+	case *ast.IfStmt:
+		h = w.stmt(s.Init, h)
+		w.expr(s.Cond, h, false)
+		hThen := w.block(s.Body.List, copyHeld(h))
+		hElse := h
+		if s.Else != nil {
+			hElse = w.stmt(s.Else, copyHeld(h))
+		}
+		thenTerm := terminates(s.Body.List)
+		elseTerm := false
+		if eb, ok := s.Else.(*ast.BlockStmt); ok {
+			elseTerm = terminates(eb.List)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return h // whatever follows is unreachable
+		case thenTerm:
+			return hElse
+		case elseTerm:
+			return hThen
+		}
+		return intersectHeld(hThen, hElse)
+	case *ast.ForStmt:
+		h = w.stmt(s.Init, h)
+		if s.Cond != nil {
+			w.expr(s.Cond, h, false)
+		}
+		return w.loop(h, func(hh heldSet) heldSet {
+			hh = w.block(s.Body.List, hh)
+			return w.stmt(s.Post, hh)
+		})
+	case *ast.RangeStmt:
+		w.expr(s.X, h, false)
+		return w.loop(h, func(hh heldSet) heldSet {
+			return w.block(s.Body.List, hh)
+		})
+	case *ast.SwitchStmt:
+		h = w.stmt(s.Init, h)
+		if s.Tag != nil {
+			w.expr(s.Tag, h, false)
+		}
+		return w.clauses(s.Body.List, h)
+	case *ast.TypeSwitchStmt:
+		h = w.stmt(s.Init, h)
+		w.stmt(s.Assign, copyHeld(h))
+		return w.clauses(s.Body.List, h)
+	case *ast.SelectStmt:
+		return w.clauses(s.Body.List, h)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, h)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+		return h
+	}
+	return h
+}
+
+// loop runs a loop body twice: a muted probe from the loop-entry state,
+// then the recorded pass from entry ∩ probe-exit — the state that holds
+// at the top of every iteration.
+func (w *lockWalker) loop(h heldSet, body func(heldSet) heldSet) heldSet {
+	w.mute++
+	probe := body(copyHeld(h))
+	w.mute--
+	in := intersectHeld(h, probe)
+	out := body(copyHeld(in))
+	return intersectHeld(in, out)
+}
+
+// clauses joins switch/type-switch/select clause bodies by
+// intersection. Clause bodies that terminate (return/panic) drop out of
+// the join; without a default clause the pre-switch state joins too.
+func (w *lockWalker) clauses(list []ast.Stmt, h heldSet) heldSet {
+	var out heldSet
+	hasDefault := false
+	join := func(hh heldSet, term bool) {
+		if term {
+			return
+		}
+		if out == nil {
+			out = hh
+		} else {
+			out = intersectHeld(out, hh)
+		}
+	}
+	for _, c := range list {
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				w.expr(e, h, false)
+			}
+			if cc.List == nil {
+				hasDefault = true
+			}
+			join(w.block(cc.Body, copyHeld(h)), terminates(cc.Body))
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			hh := w.stmt(cc.Comm, copyHeld(h))
+			join(w.block(cc.Body, hh), terminates(cc.Body))
+		}
+	}
+	if !hasDefault {
+		join(copyHeld(h), false)
+	}
+	if out == nil {
+		return h
+	}
+	return out
+}
+
+// lockOp recognizes a statement-position mutex operation
+// root.mu.Lock/Unlock/RLock/RUnlock() on a mutex that is a named field.
+func (w *lockWalker) lockOp(e ast.Expr) (lockKey, string, bool) {
+	call, ok := unparenExpr(e).(*ast.CallExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	sel, ok := unparenExpr(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return lockKey{}, "", false
+	}
+	if mutexKind(w.pkg.Info.TypeOf(sel.X)) == 0 {
+		return lockKey{}, "", false
+	}
+	ms, ok := unparenExpr(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	msel, ok := w.pkg.Info.Selections[ms]
+	if !ok {
+		return lockKey{}, "", false
+	}
+	muVar, ok := msel.Obj().(*types.Var)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	root := w.rootObj(ms.X)
+	if root == nil {
+		return lockKey{}, "", false
+	}
+	return lockKey{root, muVar}, op, true
+}
+
+func applyLock(h heldSet, key lockKey, op string) heldSet {
+	h = copyHeld(h)
+	switch op {
+	case "Lock":
+		h[key] = heldW
+	case "RLock":
+		if h[key] < heldR {
+			h[key] = heldR
+		}
+	case "Unlock", "RUnlock":
+		delete(h, key)
+	}
+	return h
+}
+
+func (w *lockWalker) rootObj(e ast.Expr) types.Object {
+	id := retainRoot(e)
+	if id == nil {
+		return nil
+	}
+	if o := w.pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return w.pkg.Info.Defs[id]
+}
+
+func (w *lockWalker) expr(e ast.Expr, h heldSet, write bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ident, *ast.BasicLit:
+	case *ast.ParenExpr:
+		w.expr(e.X, h, write)
+	case *ast.SelectorExpr:
+		if sel, ok := w.pkg.Info.Selections[e]; ok {
+			if fv, ok := sel.Obj().(*types.Var); ok {
+				if gi := w.g.guarded[fv]; gi != nil {
+					w.addUse(e, h, fv, gi, write)
+				}
+			}
+			w.expr(e.X, h, false)
+		}
+	case *ast.StarExpr:
+		w.expr(e.X, h, write)
+	case *ast.IndexExpr:
+		w.expr(e.X, h, write)
+		w.expr(e.Index, h, false)
+	case *ast.SliceExpr:
+		w.expr(e.X, h, write)
+		for _, x := range []ast.Expr{e.Low, e.High, e.Max} {
+			if x != nil {
+				w.expr(x, h, false)
+			}
+		}
+	case *ast.UnaryExpr:
+		// Taking the address of a guarded field hands out a reference
+		// the lock no longer covers: judged as a write.
+		w.expr(e.X, h, e.Op == token.AND)
+	case *ast.BinaryExpr:
+		w.expr(e.X, h, false)
+		w.expr(e.Y, h, false)
+	case *ast.KeyValueExpr:
+		w.expr(e.Value, h, false)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, h, false)
+		}
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, h, false)
+	case *ast.FuncLit:
+		// Runs at an unknown time, possibly concurrently: checked with
+		// an empty lock set.
+		w.block(e.Body.List, heldSet{})
+	case *ast.CallExpr:
+		w.call(e, h, false)
+	}
+}
+
+// call records a resolved call site with the current lock state and
+// walks the operands. async call sites (go/defer) transfer no locks.
+func (w *lockWalker) call(call *ast.CallExpr, h heldSet, async bool) {
+	rc := w.g.resolve(w.pkg, call)
+	if len(rc.callees) > 0 && w.mute == 0 {
+		args := make([]types.Object, 0, len(call.Args)+1)
+		if rc.recv != nil {
+			args = append(args, w.rootObj(rc.recv))
+		}
+		for _, a := range call.Args {
+			args = append(args, w.rootObj(a))
+		}
+		w.sites = append(w.sites, lockSite{
+			pos: call.Pos(), callees: rc.callees, args: args,
+			held: copyHeld(h), async: async,
+		})
+	}
+	switch fun := unparenExpr(call.Fun).(type) {
+	case *ast.FuncLit:
+		w.block(fun.Body.List, heldSet{})
+	case *ast.SelectorExpr:
+		if _, ok := w.pkg.Info.Selections[fun]; ok {
+			w.expr(fun.X, h, false)
+		}
+	}
+	for _, a := range call.Args {
+		w.expr(a, h, false)
+	}
+}
+
+func (w *lockWalker) addUse(e *ast.SelectorExpr, h heldSet, fv *types.Var, gi *guardInfo, write bool) {
+	if !w.record || w.mute > 0 {
+		return
+	}
+	root := w.rootObj(e.X)
+	lvl := 0
+	if root != nil {
+		lvl = h[lockKey{root, gi.mu}]
+	}
+	w.uses = append(w.uses, lockUse{pos: e.Sel.Pos(), fld: fv, gi: gi, root: root, write: write, level: lvl})
+}
+
+// ---- the interprocedural fixpoint ----
+
+// lockcheck runs the guardedby analysis over the whole graph: a
+// monotone fixpoint grows every function's entry-lock summary from
+// bottom (no locks) using the intersection of what all in-graph call
+// sites provably hold, then one recording pass evaluates every guarded
+// access against the settled state. Exported functions get no entry
+// credit: tests and other modules call them, so they must lock for
+// themselves. Everything runs serially at graph construction, so the
+// results are worker-count-independent.
+func (g *Graph) lockcheck() {
+	if len(g.guarded) == 0 {
+		return
+	}
+	for _, fn := range g.order {
+		sig, _ := fn.Obj.Type().(*types.Signature)
+		fn.lockEntry = make([]map[*types.Var]int, len(paramVars(sig)))
+	}
+	for round := 0; round < 32; round++ {
+		in := make(map[*GraphFunc][]map[*types.Var]int)
+		seen := make(map[*GraphFunc]bool)
+		for _, fn := range g.order {
+			w := &lockWalker{g: g, fn: fn, pkg: fn.Pkg}
+			w.walkFunc()
+			for _, site := range w.sites {
+				for _, c := range site.callees {
+					transfer := siteTransfer(site, c)
+					if !seen[c] {
+						seen[c] = true
+						in[c] = transfer
+					} else {
+						in[c] = intersectEntry(in[c], transfer)
+					}
+				}
+			}
+		}
+		changed := false
+		for _, fn := range g.order {
+			next := in[fn]
+			if !seen[fn] || fn.Obj.Exported() {
+				next = make([]map[*types.Var]int, len(fn.lockEntry))
+			}
+			if !entryEqual(fn.lockEntry, next) {
+				fn.lockEntry = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Recording pass against the settled entries: sites feed the
+	// unlocked-chain witness search, uses become findings.
+	type fnUses struct {
+		fn   *GraphFunc
+		uses []lockUse
+	}
+	var all []fnUses
+	for _, fn := range g.order {
+		w := &lockWalker{g: g, fn: fn, pkg: fn.Pkg, record: true}
+		w.walkFunc()
+		fn.lockSites = w.sites
+		if len(w.uses) > 0 {
+			all = append(all, fnUses{fn, w.uses})
+		}
+	}
+	for _, fu := range all {
+		for _, u := range fu.uses {
+			need := heldR
+			if u.write {
+				need = heldW
+			}
+			if u.level >= need {
+				continue
+			}
+			field := u.gi.owner + "." + u.fld.Name()
+			mu := u.gi.mu.Name()
+			var msg string
+			if u.level == heldR && u.write {
+				msg = fmt.Sprintf("field %s is guarded by %s; this write needs %s.Lock(), but only %s.RLock() is held", field, mu, mu, mu)
+			} else {
+				verb := "read"
+				if u.write {
+					verb = "write"
+				}
+				msg = fmt.Sprintf("field %s is guarded by %s (//cplint:guardedby), which is not held at this %s", field, mu, verb)
+			}
+			if chain := g.unlockedChain(fu.fn, u); len(chain) > 1 {
+				msg += fmt.Sprintf(" [lock chain: %s]", chainString(chain))
+			}
+			msg += fmt.Sprintf("; hold %s or annotate //cplint:unguarded-ok <why>", mu)
+			g.lockDiags[fu.fn.Pkg] = append(g.lockDiags[fu.fn.Pkg], lockDiag{pos: u.pos, msg: msg, suppressible: true})
+		}
+	}
+}
+
+// siteTransfer maps one call site's held locks onto the callee's
+// receiver-first parameters: parameter i enters with the locks the
+// argument's root variable provably holds at the site.
+func siteTransfer(site lockSite, c *GraphFunc) []map[*types.Var]int {
+	sig, _ := c.Obj.Type().(*types.Signature)
+	out := make([]map[*types.Var]int, len(paramVars(sig)))
+	if site.async {
+		return out
+	}
+	for i := 0; i < len(out) && i < len(site.args); i++ {
+		root := site.args[i]
+		if root == nil {
+			continue
+		}
+		for key, lvl := range site.held {
+			if key.root == root {
+				if out[i] == nil {
+					out[i] = make(map[*types.Var]int)
+				}
+				out[i][key.mu] = lvl
+			}
+		}
+	}
+	return out
+}
+
+func intersectEntry(a, b []map[*types.Var]int) []map[*types.Var]int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make([]map[*types.Var]int, n)
+	for i := 0; i < n; i++ {
+		for mu, va := range a[i] {
+			if vb, ok := b[i][mu]; ok {
+				if vb < va {
+					va = vb
+				}
+				if out[i] == nil {
+					out[i] = make(map[*types.Var]int)
+				}
+				out[i][mu] = va
+			}
+		}
+	}
+	return out
+}
+
+func entryEqual(a, b []map[*types.Var]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for mu, va := range a[i] {
+			if b[i][mu] != va {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func paramIndexOf(fn *GraphFunc, obj types.Object) int {
+	if obj == nil {
+		return -1
+	}
+	sig, _ := fn.Obj.Type().(*types.Signature)
+	for i, p := range paramVars(sig) {
+		if p == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+func entryLevel(fn *GraphFunc, i int, mu *types.Var) int {
+	if i < 0 || i >= len(fn.lockEntry) || fn.lockEntry[i] == nil {
+		return 0
+	}
+	return fn.lockEntry[i][mu]
+}
+
+// unlockedChain builds the witness call chain for a flagged access
+// whose root is a parameter: the path from the nearest function that
+// fails to hold the mutex down to the access's function. Empty when
+// the access's root is not a parameter or no in-graph caller exists.
+func (g *Graph) unlockedChain(fn *GraphFunc, u lockUse) []*GraphFunc {
+	idx := paramIndexOf(fn, u.root)
+	if idx < 0 {
+		return nil
+	}
+	chain := []*GraphFunc{fn}
+	cur, curIdx := fn, idx
+	seen := map[*GraphFunc]bool{fn: true}
+	for depth := 0; depth < 8; depth++ {
+		caller, callerIdx, up := g.unlockedCaller(cur, curIdx, u.gi.mu)
+		if caller == nil || seen[caller] {
+			break
+		}
+		seen[caller] = true
+		chain = append([]*GraphFunc{caller}, chain...)
+		if !up {
+			break
+		}
+		cur, curIdx = caller, callerIdx
+	}
+	return chain
+}
+
+// unlockedCaller finds the first call site (in deterministic graph
+// order) reaching cur whose transfer for (paramIdx, mu) is missing.
+// up reports whether the unlocked argument is itself a parameter of the
+// caller with no entry credit, i.e. the search should continue upward.
+func (g *Graph) unlockedCaller(cur *GraphFunc, paramIdx int, mu *types.Var) (caller *GraphFunc, callerIdx int, up bool) {
+	for _, cand := range g.order {
+		for _, site := range cand.lockSites {
+			if paramIdx >= len(site.args) || !hasCallee(site.callees, cur) {
+				continue
+			}
+			root := site.args[paramIdx]
+			if root != nil && !site.async && site.held[lockKey{root, mu}] > 0 {
+				continue // this site holds the lock
+			}
+			ci := paramIndexOf(cand, root)
+			if ci >= 0 && entryLevel(cand, ci, mu) == 0 {
+				return cand, ci, true
+			}
+			return cand, -1, false
+		}
+	}
+	return nil, -1, false
+}
+
+func hasCallee(callees []*GraphFunc, fn *GraphFunc) bool {
+	for _, c := range callees {
+		if c == fn {
+			return true
+		}
+	}
+	return false
+}

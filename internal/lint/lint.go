@@ -133,9 +133,32 @@ func inDetPackage(path string) bool {
 	return false
 }
 
+// ConcurrencyPackages lists the packages whose goroutines goleak gates:
+// every determinism-critical package (the serving stack grows out of
+// them) plus the worker pool, the experiment harness, and the lint
+// driver itself. cmd/ CLIs spawn nothing long-lived and are exempt by
+// omission.
+var ConcurrencyPackages = append(append([]string{},
+	DetPackages...),
+	"internal/par",
+	"internal/experiments",
+	"internal/lint",
+)
+
+// inConcurrencyPackage reports whether path is goroutine-lifecycle
+// gated.
+func inConcurrencyPackage(path string) bool {
+	for _, p := range ConcurrencyPackages {
+		if pathHasSuffix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
 // All returns the full cplint suite in its canonical order.
 func All() []*Analyzer {
-	return []*Analyzer{DetMap, DetSource, Exhaustive, FloatFold, Frozen, HotAlloc, HotCall, ParShare, Retain}
+	return []*Analyzer{CtxFlow, DetMap, DetSource, Exhaustive, FloatFold, Frozen, GoLeak, GuardedBy, HotAlloc, HotCall, ParShare, Retain}
 }
 
 // Analyze runs the given analyzers over the given packages and returns
@@ -214,12 +237,16 @@ func fsetOf(pkg *Package) *token.FileSet {
 
 // Directive names understood by the suite.
 const (
-	DirOrderedOK  = "ordered-ok"  // on a range-over-map: order-insensitivity is argued by the reason
-	DirHotPath    = "hotpath"     // on a func decl: the body must not allocate
-	DirPartialOK  = "partial-ok"  // on an enum switch, float fold, or model write: partial behavior is argued by the reason
-	DirReused     = "reused"      // on a type decl: values are reused buffers; retain tracks their escape
-	DirRetainedOK = "retained-ok" // on an escaping statement: retention is argued safe by the reason
-	DirColdPath   = "coldpath"    // on a func decl: off the steady path; hotcall does not propagate into it
+	DirOrderedOK   = "ordered-ok"   // on a range-over-map: order-insensitivity is argued by the reason
+	DirHotPath     = "hotpath"      // on a func decl: the body must not allocate
+	DirPartialOK   = "partial-ok"   // on an enum switch, float fold, or model write: partial behavior is argued by the reason
+	DirReused      = "reused"       // on a type decl: values are reused buffers; retain tracks their escape
+	DirRetainedOK  = "retained-ok"  // on an escaping statement: retention is argued safe by the reason
+	DirColdPath    = "coldpath"     // on a func decl: off the steady path; hotcall does not propagate into it
+	DirGuardedBy   = "guardedby"    // on a struct field: accesses require the named sibling mutex held
+	DirUnguardedOK = "unguarded-ok" // on a guarded-field access: lock-free access is argued by the reason
+	DirLeakOK      = "leak-ok"      // on a go statement: unbounded lifetime is argued by the reason
+	DirDetachedOK  = "detached-ok"  // on a detached-context argument: breaking cancellation is argued by the reason
 )
 
 // A Directive is one parsed //cplint:<name> <reason> comment.
@@ -265,20 +292,30 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) []*Directive {
 
 // directiveAt returns the package's directive of the given name
 // attached to the node starting at pos: on the same line (trailing
-// comment) or on the line immediately above. It marks the directive
-// used so validateDirectives can flag the ones attached to nothing.
+// comment) or on the line immediately above. A same-line match wins —
+// on consecutive annotated lines (struct fields, say) each node must
+// claim its own trailing directive, not the previous line's. It marks
+// the directive used so validateDirectives can flag the ones attached
+// to nothing.
 func directiveAt(pkg *Package, name string, pos token.Pos) *Directive {
 	p := pkg.fset.Position(pos)
+	var above *Directive
 	for _, d := range pkg.directives {
 		if d.Name != name || d.File != p.Filename {
 			continue
 		}
-		if d.Line == p.Line || d.Line == p.Line-1 {
+		if d.Line == p.Line {
 			d.used = true
 			return d
 		}
+		if above == nil && d.Line == p.Line-1 {
+			above = d
+		}
 	}
-	return nil
+	if above != nil {
+		above.used = true
+	}
+	return above
 }
 
 // claimDoc marks directives inside a func declaration's doc comment
@@ -307,34 +344,47 @@ func claimDoc(pkg *Package, name string, doc *ast.CommentGroup, declPos token.Po
 // single-analyzer fixture test must not call another analyzer's
 // legitimately placed annotation a mistake).
 var directiveOwners = map[string][]string{
-	DirOrderedOK:  {"detmap", "floatfold"},
-	DirHotPath:    {"hotalloc", "hotcall"},
-	DirPartialOK:  {"exhaustive", "floatfold", "frozen"},
-	DirReused:     {"retain"},
-	DirRetainedOK: {"retain"},
-	DirColdPath:   {"hotcall"},
+	DirOrderedOK:   {"detmap", "floatfold"},
+	DirHotPath:     {"hotalloc", "hotcall"},
+	DirPartialOK:   {"exhaustive", "floatfold", "frozen"},
+	DirReused:      {"retain"},
+	DirRetainedOK:  {"retain"},
+	DirColdPath:    {"hotcall"},
+	DirGuardedBy:   {"guardedby"},
+	DirUnguardedOK: {"guardedby"},
+	DirLeakOK:      {"goleak"},
+	DirDetachedOK:  {"ctxflow"},
 }
 
 // reasonRequired lists the directives whose reason is mandatory: the
-// annotation suppresses a finding (or, for reused, widens a contract),
-// so the justification must travel with it.
+// annotation suppresses a finding (or, for reused and guardedby, widens
+// or declares a contract), so the justification must travel with it.
+// For guardedby the "reason" is the guarding mutex field name.
 var reasonRequired = map[string]bool{
-	DirOrderedOK:  true,
-	DirPartialOK:  true,
-	DirReused:     true,
-	DirRetainedOK: true,
-	DirColdPath:   true,
+	DirOrderedOK:   true,
+	DirPartialOK:   true,
+	DirReused:      true,
+	DirRetainedOK:  true,
+	DirColdPath:    true,
+	DirGuardedBy:   true,
+	DirUnguardedOK: true,
+	DirLeakOK:      true,
+	DirDetachedOK:  true,
 }
 
 // attachWant describes, per directive, what kind of node the
 // annotation must be attached to.
 var attachWant = map[string]string{
-	DirOrderedOK:  "a range-over-map statement",
-	DirHotPath:    "a function declaration",
-	DirPartialOK:  "a partially-covered enum switch, an order-sensitive float fold, or a frozen-model write",
-	DirReused:     "a type declaration",
-	DirRetainedOK: "a statement that retains a reused buffer",
-	DirColdPath:   "a function declaration",
+	DirOrderedOK:   "a range-over-map statement",
+	DirHotPath:     "a function declaration",
+	DirPartialOK:   "a partially-covered enum switch, an order-sensitive float fold, or a frozen-model write",
+	DirReused:      "a type declaration",
+	DirRetainedOK:  "a statement that retains a reused buffer",
+	DirColdPath:    "a function declaration",
+	DirGuardedBy:   "a struct field declaration",
+	DirUnguardedOK: "a lock-free access of a guarded field",
+	DirLeakOK:      "a go statement",
+	DirDetachedOK:  "a detached-context argument",
 }
 
 func validateDirectives(pkg *Package, ran []*Analyzer, report func(Diagnostic)) {
@@ -349,8 +399,9 @@ func validateDirectives(pkg *Package, ran []*Analyzer, report func(Diagnostic)) 
 			report(Diagnostic{
 				Analyzer: "cplint",
 				Pos:      pos(d),
-				Message: fmt.Sprintf("unknown directive //cplint:%s (known: %s, %s, %s, %s, %s, %s)",
-					d.Name, DirColdPath, DirHotPath, DirOrderedOK, DirPartialOK, DirRetainedOK, DirReused),
+				Message: fmt.Sprintf("unknown directive //cplint:%s (known: %s, %s, %s, %s, %s, %s, %s, %s, %s, %s)",
+					d.Name, DirColdPath, DirDetachedOK, DirGuardedBy, DirHotPath, DirLeakOK,
+					DirOrderedOK, DirPartialOK, DirRetainedOK, DirReused, DirUnguardedOK),
 			})
 			continue
 		}
@@ -366,10 +417,15 @@ func validateDirectives(pkg *Package, ran []*Analyzer, report func(Diagnostic)) 
 			continue
 		}
 		if reasonRequired[d.Name] && d.Reason == "" {
+			msg := fmt.Sprintf("//cplint:%s needs a reason: //cplint:%s <why this is justified>", d.Name, d.Name)
+			if d.Name == DirGuardedBy {
+				// guardedby's "reason" slot names the contract itself.
+				msg = "//cplint:guardedby needs the guarding mutex field name: //cplint:guardedby <mutexField>"
+			}
 			report(Diagnostic{
 				Analyzer: owners[0],
 				Pos:      pos(d),
-				Message:  fmt.Sprintf("//cplint:%s needs a reason: //cplint:%s <why this is justified>", d.Name, d.Name),
+				Message:  msg,
 			})
 			continue
 		}

@@ -1,11 +1,12 @@
 // Package lint implements the cplint static-analysis suite: a small,
 // dependency-free clone of the golang.org/x/tools/go/analysis driver
-// plus the nine repo-specific analyzers (detmap, detsource,
-// exhaustive, floatfold, frozen, hotalloc, hotcall, parshare, retain)
-// that turn this repo's determinism, state-machine, hot-path,
-// buffer-retention, and concurrency invariants into build errors. The
-// two call-graph-backed analyzers (retain, hotcall) additionally share
-// a deterministic interprocedural substrate; see callgraph.go.
+// plus the twelve repo-specific analyzers (ctxflow, detmap,
+// detsource, exhaustive, floatfold, frozen, goleak, guardedby,
+// hotalloc, hotcall, parshare, retain) that turn this repo's
+// determinism, state-machine, hot-path, buffer-retention, and
+// concurrency invariants into build errors. The call-graph-backed
+// analyzers (retain, hotcall, guardedby, goleak) additionally share a
+// deterministic interprocedural substrate; see callgraph.go.
 //
 // The framework mirrors the go/analysis API (Analyzer, Pass, Reportf)
 // so the analyzers would port to the upstream driver verbatim, but it
@@ -79,10 +80,10 @@ type Loader struct {
 	// completes — so the worker count can never change the result.
 	Workers int
 
-	mu      sync.Mutex // guards fset/meta/entries creation
-	fset    *token.FileSet
-	meta    map[string]*listPkg
-	entries map[string]*checkEntry
+	mu      sync.Mutex             // guards fset/meta/entries creation
+	fset    *token.FileSet         //cplint:guardedby mu
+	meta    map[string]*listPkg    //cplint:guardedby mu
+	entries map[string]*checkEntry //cplint:guardedby mu
 }
 
 // checkEntry is the once-per-import-path type-check slot.

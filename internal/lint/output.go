@@ -11,7 +11,7 @@ import (
 // removed, so downstream parsers keep working across versions.
 
 // ReportVersion identifies the JSON report schema.
-const ReportVersion = "cplint/3"
+const ReportVersion = "cplint/4"
 
 type jsonReport struct {
 	Version     string           `json:"version"`
@@ -43,7 +43,7 @@ func hasDotDotPrefix(rel string) bool {
 	return len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
 }
 
-// WriteJSON renders diagnostics as the stable cplint/3 JSON report.
+// WriteJSON renders diagnostics as the stable cplint/4 JSON report.
 // Diagnostics must already be in their deterministic sorted order (as
 // returned by Analyze); the writer adds nothing nondeterministic.
 func WriteJSON(w io.Writer, diags []Diagnostic, packages int, base string) error {

@@ -1,0 +1,37 @@
+// Package concneg is the negative-control fixture for the concurrency
+// directives: each malformed or misplaced guardedby/unguarded-ok/
+// leak-ok/detached-ok annotation must produce exactly one hygiene
+// diagnostic — and the package sits outside the concurrency gate, so
+// the leaky goroutine at the bottom stays unreported.
+package concneg
+
+import "sync"
+
+// A Bad carries the malformed guard contracts.
+type Bad struct {
+	mu   sync.Mutex
+	n    int //cplint:guardedby
+	k    int //cplint:guardedby lock
+	lock int
+}
+
+//cplint:unguarded-ok floating suppression with no guarded access below
+var x int
+
+//cplint:leak-ok reasoned, but attached to a var, not a go statement
+var y int
+
+//cplint:detached-ok reasoned, but attached to a var, not an argument
+var z int
+
+// Spin would be flagged inside a gated package; concneg is not gated.
+func Spin(ch chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}

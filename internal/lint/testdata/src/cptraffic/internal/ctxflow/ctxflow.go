@@ -1,0 +1,69 @@
+// Package ctxflow is the ctxflow fixture: a function with a named
+// context.Context parameter must pass that context (or a context.With*
+// derivative of it) to context-accepting callees. A fresh
+// context.Background()/TODO() below an entry point breaks the
+// cancellation chain and is flagged — directly, and through With*
+// derivation and variable assignment. Entry points (no context
+// parameter) are exempt, and a deliberate detach takes a reasoned
+// //cplint:detached-ok.
+package ctxflow
+
+import "context"
+
+// store is a context-accepting sink.
+func store(ctx context.Context, v int) { _, _ = ctx, v }
+
+// fetch is a context-accepting source.
+func fetch(ctx context.Context) int { _ = ctx; return 0 }
+
+// Serve propagates the in-scope context and a derivative: clean.
+func Serve(ctx context.Context) {
+	store(ctx, 1)
+	c2, cancel := context.WithCancel(ctx)
+	defer cancel()
+	_ = fetch(c2)
+}
+
+// Launder swaps the caller's context for a fresh Background.
+func Launder(ctx context.Context) {
+	store(context.Background(), 1) // want `context\.Background\(\) passed to store while ctx is in scope: cancellation stops here`
+}
+
+// LaunderTODO does the same with TODO.
+func LaunderTODO(ctx context.Context) {
+	store(context.TODO(), 2) // want `context\.TODO\(\) passed to store while ctx is in scope: cancellation stops here`
+}
+
+// Derived launders through a With* chain and a variable: the taint
+// follows the assignment.
+func Derived(ctx context.Context) {
+	c2, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	store(c2, 3) // want `context derived from context\.Background\(\)/TODO\(\) passed to store while ctx is in scope`
+}
+
+// Entry has no context parameter: Background belongs here.
+func Entry() {
+	store(context.Background(), 4)
+}
+
+// Detach deliberately outlives the request, and says so.
+func Detach(ctx context.Context) {
+	store(context.Background(), 5) //cplint:detached-ok fixture: audit write must survive request cancellation
+}
+
+// Spawn shows a nested literal inheriting the enclosing scope.
+func Spawn(ctx context.Context) {
+	f := func() {
+		store(context.Background(), 6) // want `context\.Background\(\) passed to store while ctx is in scope`
+	}
+	f()
+}
+
+// Rebound: a literal with its own context parameter rebinds the scope,
+// and propagating the inner one is clean.
+func Rebound(ctx context.Context) func(context.Context) {
+	return func(inner context.Context) {
+		store(inner, 7)
+	}
+}

@@ -1,0 +1,150 @@
+// Package guarded is the guardedby fixture: fields annotated
+// //cplint:guardedby <mutexField> may only be touched with the named
+// sibling mutex held. Covered here: plain Lock/Unlock, defer Unlock,
+// early-return paths, per-iteration locking, RWMutex read/write
+// levels, the interprocedural entry-lock summary (helper reached both
+// locked and unlocked is flagged with the unlocked chain named), func
+// literals losing the held set, and the unguarded-ok escape.
+package guarded
+
+import "sync"
+
+// A Counter is the basic contract: n only moves under mu.
+type Counter struct {
+	mu sync.Mutex
+	n  int //cplint:guardedby mu
+}
+
+// Inc locks around the write: clean.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Get holds via defer to the return: clean.
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Racy reads with no lock at all.
+func (c *Counter) Racy() int {
+	return c.n // want `field Counter\.n is guarded by mu \(//cplint:guardedby\), which is not held at this read`
+}
+
+// AfterUnlock reads after the lock is already gone.
+func (c *Counter) AfterUnlock() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want `field Counter\.n is guarded by mu \(//cplint:guardedby\), which is not held at this read`
+}
+
+// Branchy unlocks on the early-return path only: the fallthrough path
+// still holds the lock at the read.
+func (c *Counter) Branchy(flip bool) int {
+	c.mu.Lock()
+	if flip {
+		c.mu.Unlock()
+		return 0
+	}
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// Drain locks per iteration: not held at the loop head, held at the
+// access. Clean.
+func (c *Counter) Drain(rounds int) int {
+	total := 0
+	for i := 0; i < rounds; i++ {
+		c.mu.Lock()
+		total += c.n
+		c.mu.Unlock()
+	}
+	return total
+}
+
+// Spawn captures the counter in a literal that runs at an unknown
+// time: the held set does not transfer into it.
+func (c *Counter) Spawn() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.n // want `field Counter\.n is guarded by mu \(//cplint:guardedby\), which is not held at this read`
+	}
+}
+
+// NewCounter builds unshared state: the composite literal is exempt by
+// construction, and the follow-up write is a reasoned escape.
+func NewCounter(seed int) *Counter {
+	c := &Counter{n: seed}
+	c.n = seed + 1 //cplint:unguarded-ok fixture: c is not shared until NewCounter returns
+	return c
+}
+
+// A Store pairs locked entry points with unexported helpers: the
+// entry-lock summary rides the call graph.
+type Store struct {
+	mu sync.Mutex
+	m  map[string]int //cplint:guardedby mu
+}
+
+// Put locks, then delegates: put inherits the lock at this call site.
+func (s *Store) Put(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.put(k, v)
+}
+
+// put is reached locked (Put) and unlocked (Sloppy): the intersection
+// gives it no entry credit, and the unlocked chain is named.
+func (s *Store) put(k string, v int) {
+	s.m[k] = v // want `field Store\.m is guarded by mu \(//cplint:guardedby\), which is not held at this write \[lock chain: Store\.Sloppy → Store\.put\]`
+}
+
+// Sloppy forgets the lock before delegating.
+func (s *Store) Sloppy(k string, v int) {
+	s.put(k, v)
+}
+
+// get is reached only with the lock held: entry credit keeps it clean.
+func (s *Store) get(k string) int {
+	return s.m[k]
+}
+
+// Get locks then delegates: clean end to end.
+func (s *Store) Get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.get(k)
+}
+
+// A Gauge is the RWMutex contract: reads under RLock, writes under
+// Lock.
+type Gauge struct {
+	mu sync.RWMutex
+	v  int //cplint:guardedby mu
+}
+
+// Read under RLock: clean.
+func (g *Gauge) Read() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+// Bump writes under only the read lock.
+func (g *Gauge) Bump() {
+	g.mu.RLock()
+	g.v++ // want `field Gauge\.v is guarded by mu; this write needs mu\.Lock\(\), but only mu\.RLock\(\) is held`
+	g.mu.RUnlock()
+}
+
+// Set under the write lock: clean.
+func (g *Gauge) Set(x int) {
+	g.mu.Lock()
+	g.v = x
+	g.mu.Unlock()
+}

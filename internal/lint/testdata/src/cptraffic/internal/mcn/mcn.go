@@ -1,0 +1,115 @@
+// Package mcn is the goleak fixture. The import path ends in
+// internal/mcn, one of the concurrency-gated packages, so every go
+// statement here needs a provable termination signal: a select arm
+// that receives a stop and exits, a range over a channel the module
+// closes, a join on a Wait()ed sync.WaitGroup — or a reasoned
+// //cplint:leak-ok.
+package mcn
+
+import (
+	"context"
+	"sync"
+)
+
+// A Queue is the storm-engine shape: a feed channel, a stop channel,
+// and a join group.
+type Queue struct {
+	ch   chan int
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Start spawns a drainer bounded by Stop's close.
+func (q *Queue) Start() {
+	go func() {
+		for range q.ch {
+		}
+	}()
+}
+
+// Stop closes the feed, ending Start's range.
+func (q *Queue) Stop() { close(q.ch) }
+
+// Watch is bounded by the ctx.Done select arm.
+func (q *Queue) Watch(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-q.ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Leak spins forever: the select has no arm that exits.
+func (q *Queue) Leak() {
+	go func() { // want `goroutine loops forever \(line \d+\) with no select arm that receives a stop signal and exits`
+		for {
+			select {
+			case v := <-q.ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// RangeLeak ranges a channel no function in the module closes.
+func (q *Queue) RangeLeak(in chan int) {
+	go func() { // want `goroutine ranges over a channel \(line \d+\) no function in the module closes`
+		for range in {
+		}
+	}()
+}
+
+// Joined has no stop signal but joins a Wait()ed WaitGroup: a stuck
+// worker deadlocks Joined loudly instead of leaking silently.
+func (q *Queue) Joined() {
+	q.wg.Add(1)
+	go func() {
+		defer q.wg.Done()
+		for {
+			select {
+			case v := <-q.ch:
+				_ = v
+			}
+		}
+	}()
+	q.wg.Wait()
+}
+
+// Dynamic targets a func value: termination cannot be proven.
+func Dynamic(fn func()) {
+	go fn() // want `goroutine target is a dynamic func value: termination cannot be proven`
+}
+
+// Declared hands the body to a named method: the graph resolves it and
+// finds drain's exit arm.
+func (q *Queue) Declared() {
+	go q.drain()
+}
+
+func (q *Queue) drain() {
+	for {
+		select {
+		case <-q.done:
+			return
+		case v := <-q.ch:
+			_ = v
+		}
+	}
+}
+
+// Forever is deliberately process-lifetime, and says so.
+func (q *Queue) Forever() {
+	go func() { //cplint:leak-ok fixture: process-lifetime metrics pump, dies with the process
+		for {
+			select {
+			case v := <-q.ch:
+				_ = v
+			}
+		}
+	}()
+}

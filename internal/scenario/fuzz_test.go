@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParseScenario feeds arbitrary bytes through the scenario JSON
+// parser, seeded with the four shipped scenario files so the fuzzer
+// starts from real structure instead of discovering the schema from
+// scratch. The invariant under test is round-trip stability: any input
+// Parse accepts must Marshal to bytes that Parse again and Marshal to
+// the identical bytes — otherwise two runs loading "the same" scenario
+// could drive different worlds, breaking the determinism contract.
+func FuzzParseScenario(f *testing.F) {
+	dir := filepath.Join("..", "..", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatalf("reading seed corpus %s: %v", dir, err)
+	}
+	seeded := 0
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			f.Fatalf("reading seed %s: %v", e.Name(), err)
+		}
+		f.Add(data)
+		seeded++
+	}
+	if seeded == 0 {
+		f.Fatalf("no .json seeds in %s", dir)
+	}
+	f.Add([]byte(`{"name":"x","start_hour":0,"duration_min":1,"ues":{"smartphone":1}}`))
+	f.Add([]byte(`{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs only need to not crash
+		}
+		out1, err := s.Marshal()
+		if err != nil {
+			t.Fatalf("accepted scenario does not marshal: %v", err)
+		}
+		s2, err := Parse(bytes.NewReader(out1))
+		if err != nil {
+			t.Fatalf("marshalled scenario does not re-parse: %v\n%s", err, out1)
+		}
+		out2, err := s2.Marshal()
+		if err != nil {
+			t.Fatalf("re-parsed scenario does not marshal: %v", err)
+		}
+		if !bytes.Equal(out1, out2) {
+			t.Fatalf("marshal not stable across a round trip:\nfirst:  %s\nsecond: %s", out1, out2)
+		}
+	})
+}
